@@ -1,0 +1,156 @@
+// Command benchcomm regenerates the paper's evaluation series (DESIGN.md
+// experiment index): per-gate online communication versus committee size
+// (E1), the Table-1 improvement factors (E2), offline scaling (E3), the
+// fail-stop trade-off (E4), and the packing ablation.
+//
+// Usage:
+//
+//	benchcomm                      # all experiments
+//	benchcomm -experiment online   # just E1
+//	benchcomm -experiment improvement -widthmult 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"yosompc/internal/bench"
+	"yosompc/internal/sortition"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "all | table1 | online | improvement | offline | failstop | robust | amortization | totalcost | ablation")
+		widthMult  = flag.Int("widthmult", 16, "E2 workload width multiplier (width = widthmult·n·k)")
+		eps        = flag.Float64("eps", 0.25, "gap ε for measured sweeps")
+	)
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		if *experiment != "all" && *experiment != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcomm: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("table1", func() error {
+		fmt.Println("=== T1: Table 1 (sortition parameters with gap) ===")
+		fmt.Print(sortition.FormatTable(sortition.Table1()))
+		fmt.Println()
+		return nil
+	})
+
+	run("online", func() error {
+		pts, err := bench.OnlineVsN([]int{8, 16, 32, 64}, 256, 1, *eps)
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== E1: online bytes/gate vs committee size (measured) ===")
+		fmt.Print(bench.FormatOnlineVsN(pts))
+		fmt.Println()
+		return nil
+	})
+
+	run("improvement", func() error {
+		rows, err := bench.ImprovementFactors(*widthMult)
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== E2: online improvement factors at Table-1 parameters ===")
+		fmt.Print(bench.FormatImprovement(rows))
+		fmt.Println()
+		return nil
+	})
+
+	run("offline", func() error {
+		pts, err := bench.OfflineVsGates(16, 4, 4, []int{8, 16, 32, 64})
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== E3a: offline bytes vs circuit size (n=16) ===")
+		fmt.Print(bench.FormatOfflineScaling(pts))
+		pts, err = bench.OfflineVsN([]int{8, 16, 32, 64}, 16, *eps)
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== E3b: offline bytes vs committee size (16-mul circuit) ===")
+		fmt.Print(bench.FormatOfflineScaling(pts))
+		fmt.Println()
+		return nil
+	})
+
+	run("failstop", func() error {
+		res, err := bench.FailStop(24, *eps, 16)
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== E4: fail-stop tolerance (§5.4) ===")
+		fmt.Printf("n=%d t=%d: packing %d → %d tolerates %d crashed roles per committee\n",
+			res.N, res.T, res.KFull, res.KHalf, res.Dropped)
+		fmt.Printf("completed with crashes: %v; μ-opening overhead %.2f×\n\n", res.Completed, res.Overhead)
+		return nil
+	})
+
+	run("robust", func() error {
+		row, err := bench.RobustComparison(14, 3, 2, 16)
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== E9: IT-GOD (robust) vs proof-filtered mode ===")
+		fmt.Printf("n=%d t=%d k=%d: online %d B (proofs) vs %d B (robust); per-run proof saving %d B\n",
+			row.N, row.T, row.K, row.ProofOnline, row.RobustOnline, row.ProofBytesSaved)
+		fmt.Printf("packing budget: k ≤ %d (proofs) vs k ≤ %d (robust decoding)\n\n",
+			row.MaxKProof, row.MaxKRobust)
+		return nil
+	})
+
+	run("amortization", func() error {
+		pts, err := bench.AmortizationCurve(16, 3, 4, []int{8, 16, 32, 64, 128, 256})
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== E10: online amortization curve (n=16, k=4) ===")
+		fmt.Print(bench.FormatAmortization(pts))
+		fmt.Println()
+		return nil
+	})
+
+	run("totalcost", func() error {
+		pts, err := bench.TotalCost([]int{8, 16, 32}, 16, *eps)
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== Limitation: total (setup+offline+online) cost vs baseline ===")
+		fmt.Print(bench.FormatTotalCost(pts))
+		fmt.Println()
+		return nil
+	})
+
+	run("ablation", func() error {
+		rows, err := bench.PackingAblation(16, 3, 4, 16)
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== Ablation: packing on/off ===")
+		for _, r := range rows {
+			fmt.Printf("%-16s μ-online %6d B  (%.1f B/gate, %.2f× packed)\n",
+				r.Name, r.OnlineBytes, r.OnlinePerGate, r.RelativeToFull)
+		}
+		fmt.Println()
+		rows, err = bench.KFFAblation(16, 3, 4, 16)
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== Ablation: keys-for-future on/off (§3.2 naive) ===")
+		for _, r := range rows {
+			fmt.Printf("%-16s online %8d B  (%.1f B/gate, %.2f× of KFF)\n",
+				r.Name, r.OnlineBytes, r.OnlinePerGate, r.RelativeToFull)
+		}
+		fmt.Println()
+		return nil
+	})
+}

@@ -1,0 +1,70 @@
+// Command boardd runs the networked bulletin-board service and its
+// observer client:
+//
+//	boardd -listen :7946                 # serve a board
+//	boardd -watch localhost:7946        # tail a board's postings live
+//
+// Protocol runs mirror into a board with `yosompc -mirror <addr>`; remote
+// observers audit who posted how many bytes in which phase — the public
+// record the YOSO broadcast channel carries.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"yosompc/internal/transport"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "", "serve a board on this address (e.g. :7946)")
+		watch  = flag.String("watch", "", "tail a board at this address")
+		since  = flag.Int("since", 0, "with -watch: start from this sequence number")
+	)
+	flag.Parse()
+
+	switch {
+	case *listen != "":
+		serve(*listen)
+	case *watch != "":
+		tail(*watch, *since)
+	default:
+		fmt.Fprintln(os.Stderr, "boardd: pass -listen ADDR or -watch ADDR")
+		os.Exit(2)
+	}
+}
+
+func serve(addr string) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "boardd: %v\n", err)
+		os.Exit(1)
+	}
+	s := transport.Serve(ln)
+	fmt.Printf("boardd: serving bulletin board on %s\n", s.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("boardd: shutting down; %d postings (%s)\n", s.Len(),
+		func() string { r := s.Report(); return fmt.Sprintf("%d bytes", r.Total) }())
+	_ = s.Close()
+}
+
+func tail(addr string, since int) {
+	entries, stop, err := transport.Tail(addr, since)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "boardd: %v\n", err)
+		os.Exit(1)
+	}
+	defer stop()
+	fmt.Printf("boardd: tailing %s from seq %d\n", addr, since)
+	for e := range entries {
+		fmt.Printf("#%-6d %-9s %-22s %8d B  %-14s %s\n",
+			e.Seq, e.Phase, e.Category, e.Size, e.From, e.Summary)
+	}
+}

@@ -1,0 +1,55 @@
+// Command sortition prints the paper's Table 1 — the committee-size
+// analysis with corruption gap ε (Section 6) — or a single analysis row
+// for custom parameters.
+//
+// Usage:
+//
+//	sortition                 # reproduce Table 1
+//	sortition -C 20000 -f 0.2 # one row
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"yosompc/internal/sortition"
+)
+
+func main() {
+	c := flag.Int("C", 0, "sortition parameter (expected committee size); 0 prints the full Table 1")
+	f := flag.Float64("f", 0.2, "global corruption ratio in (0, 1)")
+	trials := flag.Int("montecarlo", 0, "sample this many committees and check the guarantees empirically")
+	seed := flag.Int64("seed", 42, "Monte Carlo seed")
+	minEps := flag.Float64("mineps", 0, "planning mode: find the smallest C achieving this gap at -f")
+	flag.Parse()
+
+	if *minEps > 0 {
+		res, err := sortition.MinimalC(*f, *minEps, 1<<20, 100)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sortition: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("smallest C achieving eps ≥ %.3f at f=%.2f:\n%s\n", *minEps, *f, res)
+		return
+	}
+
+	if *c == 0 {
+		fmt.Print(sortition.FormatTable(sortition.Table1()))
+		return
+	}
+	res, err := sortition.Analyze(*c, *f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sortition: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(res)
+	n, t, k, eps := res.CommitteeFor(false)
+	fmt.Printf("protocol parameters: n=%d t=%d k=%d (eps=%.4f)\n", n, t, k, eps)
+	n, t, k, _ = res.CommitteeFor(true)
+	fmt.Printf("fail-stop tolerant:  n=%d t=%d k=%d (tolerates %d crashes/committee)\n",
+		n, t, k, int(float64(n)*eps))
+	if *trials > 0 {
+		fmt.Printf("monte carlo: %s\n", res.Simulate(*trials, *seed))
+	}
+}

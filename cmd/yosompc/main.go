@@ -1,0 +1,165 @@
+// Command yosompc runs the packed YOSO MPC protocol (or the CDN baseline)
+// end to end on a chosen workload and prints the outputs and the
+// communication report.
+//
+// Usage:
+//
+//	yosompc -circuit inner-product -size 4 -n 8 -t 2 -k 2
+//	yosompc -circuit wide -size 16 -depth 2 -n 16 -t 3 -k 4 -backend real
+//	yosompc -circuit stats -size 5 -baseline -n 8 -t 3
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"yosompc"
+)
+
+func main() {
+	var (
+		circuitName = flag.String("circuit", "inner-product", "workload: inner-product | poly-eval | matvec | stats | wide | random")
+		circuitFile = flag.String("file", "", "load the circuit from a text-format file instead of -circuit")
+		size        = flag.Int("size", 4, "workload size (vector length / degree / matrix dim / clients / width)")
+		depth       = flag.Int("depth", 1, "multiplicative depth for the wide workload")
+		n           = flag.Int("n", 8, "committee size")
+		t           = flag.Int("t", 2, "corruption bound per committee")
+		k           = flag.Int("k", 2, "packing factor (ignored with -baseline)")
+		backendName = flag.String("backend", "sim", "crypto backend: sim | real")
+		useBaseline = flag.Bool("baseline", false, "run the CDN-style baseline instead")
+		malicious   = flag.Int("malicious", 0, "actively corrupted roles per committee")
+		failstops   = flag.Int("failstops", 0, "crashed roles per committee")
+		seed        = flag.Int64("seed", 1, "adversary seed")
+		optimize    = flag.Bool("optimize", false, "run the circuit optimizer before executing")
+		robust      = flag.Bool("robust", false, "IT-GOD mode: decode cheating μ-shares instead of proof-filtering (needs 3t+2(k-1)+1 ≤ n)")
+		mirror      = flag.String("mirror", "", "live-mirror board postings to a boardd server at this address")
+		jsonOut     = flag.Bool("json", false, "emit the communication report as JSON")
+	)
+	flag.Parse()
+
+	var (
+		circ   *yosompc.Circuit
+		inputs map[int][]yosompc.Value
+		err    error
+	)
+	if *circuitFile != "" {
+		circ, inputs, err = loadWorkload(*circuitFile)
+	} else {
+		circ, inputs, err = buildWorkload(*circuitName, *size, *depth)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "yosompc: %v\n", err)
+		os.Exit(1)
+	}
+	if *optimize {
+		before := circ.NumMul()
+		circ, err = yosompc.OptimizeCircuit(circ)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "yosompc: optimize: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("optimizer: %d → %d multiplications\n", before, circ.NumMul())
+	}
+	cfg := yosompc.Config{
+		N: *n, T: *t, K: *k,
+		Malicious: *malicious, FailStops: *failstops, Seed: *seed,
+		Robust: *robust, MirrorAddr: *mirror,
+	}
+	if *backendName == "real" {
+		cfg.Backend = yosompc.Real
+	}
+
+	var res *yosompc.Result
+	if *useBaseline {
+		res, err = yosompc.RunBaseline(cfg, circ, inputs)
+	} else {
+		res, err = yosompc.Run(cfg, circ, inputs)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "yosompc: %v\n", err)
+		os.Exit(1)
+	}
+
+	label := *circuitName
+	if *circuitFile != "" {
+		label = *circuitFile
+	}
+	fmt.Printf("circuit: %s (muls=%d depth=%d)\n", label, circ.NumMul(), circ.Depth())
+	for _, client := range circ.Clients() {
+		if vals := res.Outputs[client]; len(vals) > 0 {
+			fmt.Printf("client %d outputs: %v\n", client, vals)
+		}
+	}
+	if len(res.Excluded) > 0 {
+		fmt.Printf("excluded roles: %v\n", res.Excluded)
+	}
+	if *jsonOut {
+		buf, err := json.MarshalIndent(res.Report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "yosompc: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n%s\n", buf)
+		return
+	}
+	fmt.Printf("\ncommunication:\n%s", res.Report.String())
+	if m := circ.NumMul(); m > 0 {
+		fmt.Printf("online per gate: %.1f B\n", res.Report.PerGate("online", m))
+	}
+}
+
+// loadWorkload parses a circuit file and synthesizes deterministic inputs.
+func loadWorkload(path string) (*yosompc.Circuit, map[int][]yosompc.Value, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	circ, err := yosompc.ParseCircuit(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	return circ, defaultInputsFor(circ), nil
+}
+
+func defaultInputsFor(circ *yosompc.Circuit) map[int][]yosompc.Value {
+	inputs := map[int][]yosompc.Value{}
+	for _, client := range circ.Clients() {
+		count := circ.InputCount(client)
+		vals := make([]yosompc.Value, count)
+		for i := range vals {
+			vals[i] = yosompc.NewValue(uint64(client*7 + i + 2))
+		}
+		inputs[client] = vals
+	}
+	return inputs
+}
+
+func buildWorkload(name string, size, depth int) (*yosompc.Circuit, map[int][]yosompc.Value, error) {
+	var (
+		circ *yosompc.Circuit
+		err  error
+	)
+	switch name {
+	case "inner-product":
+		circ, err = yosompc.InnerProduct(size)
+	case "poly-eval":
+		circ, err = yosompc.PolyEval(size)
+	case "matvec":
+		circ, err = yosompc.MatVecMul(size)
+	case "stats":
+		circ, err = yosompc.Statistics(size)
+	case "wide":
+		circ, err = yosompc.WideMul(size, depth)
+	case "random":
+		circ, err = yosompc.RandomCircuit(size, size*4, 42)
+	default:
+		return nil, nil, fmt.Errorf("unknown circuit %q", name)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return circ, defaultInputsFor(circ), nil
+}

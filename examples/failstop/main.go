@@ -1,0 +1,76 @@
+// Failstop: the §5.4 trade-off in action. The sortition analysis for
+// C = 5000, f = 0.15 yields committees of c ≈ 5100 with gap ε ≈ 0.05; at
+// laptop scale we keep the same ratios (n = 20, ε = 0.25). Running with
+// the halved packing factor k′ = nε/2 lets the protocol finish even when
+// ⌊nε⌋ honest roles crash in every committee — a full-k run with the same
+// crashes would fall below the reconstruction threshold t + 2(k−1) + 1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"yosompc"
+)
+
+func main() {
+	circ, err := yosompc.WideMul(8, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inputs := map[int][]yosompc.Value{
+		0: yosompc.Values(2, 3, 4, 5),
+		1: yosompc.Values(6, 7, 8, 9),
+	}
+
+	const (
+		n     = 20
+		t     = 4 // < n(1/2 − ε) with ε = 0.25
+		kFull = 6 // = n·ε + 1, the largest packing GOD admits (§5.4)
+		kHalf = 3 // = n·ε/2 + 1 (fail-stop mode, §5.4)
+		drop  = 6 // crashed honest roles per committee (> n − t − (t+2k−1) for full k)
+	)
+
+	// Full packing, no crashes: the efficient configuration.
+	res, err := yosompc.Run(yosompc.Config{N: n, T: t, K: kFull, Backend: yosompc.Sim}, circ, inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full packing k=%d, all honest:  outputs %v, online %s\n",
+		kFull, res.Outputs[0][:2], human(res.Report.Phase("online")))
+
+	// Full packing with nε crashes: reconstruction quorum is lost.
+	_, err = yosompc.Run(yosompc.Config{
+		N: n, T: t, K: kFull, Backend: yosompc.Sim, FailStops: drop, Seed: 3,
+	}, circ, inputs)
+	fmt.Printf("full packing k=%d, %d crashes:  %v\n", kFull, drop, errOrOK(err))
+
+	// Halved packing with the same crashes: §5.4 says the run survives.
+	res, err = yosompc.Run(yosompc.Config{
+		N: n, T: t, K: kHalf, Backend: yosompc.Sim, FailStops: drop, Seed: 3,
+	}, circ, inputs)
+	if err != nil {
+		log.Fatalf("fail-stop mode should have completed: %v", err)
+	}
+	fmt.Printf("half packing k=%d, %d crashes:  outputs %v, online %s (GOD preserved)\n",
+		kHalf, drop, res.Outputs[0][:2], human(res.Report.Phase("online")))
+	fmt.Printf("crashed role-steps tolerated: %d\n", len(res.Excluded))
+}
+
+func human(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+func errOrOK(err error) string {
+	if err != nil {
+		return "FAILED as expected (quorum below t+2(k−1)+1)"
+	}
+	return "unexpectedly succeeded"
+}

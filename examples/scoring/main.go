@@ -1,0 +1,67 @@
+// Scoring: private linear-model inference. A bank holds a proprietary
+// credit-scoring model (weights and bias); an applicant holds private
+// financial features. The committee evaluates
+//
+//	score = ⟨weights, features⟩ + bias
+//
+// so the applicant learns the score without seeing the model and the bank
+// never sees the features. The circuit is built by hand with the Builder
+// API to show non-generator usage.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"yosompc"
+)
+
+const (
+	bankClient      = 0
+	applicantClient = 1
+	features        = 5
+)
+
+func main() {
+	b := yosompc.NewCircuit()
+
+	// Bank inputs: weights then bias. (Wire handles are opaque values
+	// returned by the builder; type inference names them.)
+	ws := make([]yosompc.Wire, features)
+	for i := range ws {
+		ws[i] = b.Input(bankClient)
+	}
+	bias := b.Input(bankClient)
+
+	// Applicant inputs: features.
+	xs := make([]yosompc.Wire, features)
+	for i := range xs {
+		xs[i] = b.Input(applicantClient)
+	}
+
+	// score = Σ w_i·x_i + bias.
+	acc := b.Mul(ws[0], xs[0])
+	for i := 1; i < features; i++ {
+		acc = b.Add(acc, b.Mul(ws[i], xs[i]))
+	}
+	acc = b.Add(acc, bias)
+	b.Output(acc, applicantClient)
+
+	circ, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := yosompc.Config{N: 10, T: 2, K: 3, Backend: yosompc.Sim}
+	res, err := yosompc.Run(cfg, circ, map[int][]yosompc.Value{
+		bankClient:      yosompc.Values(3, 1, 4, 1, 5, 100), // weights + bias
+		applicantClient: yosompc.Values(10, 20, 30, 40, 50),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3·10 + 1·20 + 4·30 + 1·40 + 5·50 + 100 = 560.
+	fmt.Printf("applicant's credit score: %v (expected 560)\n\n", res.Outputs[applicantClient][0])
+	fmt.Printf("communication:\n%s", res.Report.String())
+}

@@ -1,0 +1,3 @@
+module yosompc
+
+go 1.22

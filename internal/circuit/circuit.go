@@ -1,0 +1,390 @@
+// Package circuit represents arithmetic circuits over the MPC field and
+// prepares the batch layout the packed protocol consumes: multiplication
+// gates are grouped by multiplicative depth into batches of at most k, the
+// packing factor.
+package circuit
+
+import (
+	"errors"
+	"fmt"
+
+	"yosompc/internal/field"
+)
+
+// WireID identifies a wire; wires are numbered densely from 0 in creation
+// order.
+type WireID int
+
+// GateKind enumerates gate types.
+type GateKind int
+
+// Gate kinds. Add, Sub and ConstMul are "free" (linear) gates; Mul consumes
+// preprocessed material; Input/Output delimit client interaction.
+const (
+	KindInput GateKind = iota + 1
+	KindAdd
+	KindSub
+	KindConstMul
+	KindMul
+	KindOutput
+	// KindConst introduces a public constant wire: its value is part of
+	// the circuit description, carries no secret (λ = 0), and costs no
+	// communication.
+	KindConst
+)
+
+// String implements fmt.Stringer.
+func (k GateKind) String() string {
+	switch k {
+	case KindInput:
+		return "input"
+	case KindAdd:
+		return "add"
+	case KindSub:
+		return "sub"
+	case KindConstMul:
+		return "constmul"
+	case KindMul:
+		return "mul"
+	case KindOutput:
+		return "output"
+	case KindConst:
+		return "const"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Gate is one circuit gate. Out is unset (-1) for Output gates.
+type Gate struct {
+	Kind GateKind
+	// A and B are input wires; B is unset (-1) except for Add/Sub/Mul.
+	A, B WireID
+	// Const is the scalar of a ConstMul gate.
+	Const field.Element
+	// Out is the output wire.
+	Out WireID
+	// Client owns the value of an Input or Output gate.
+	Client int
+}
+
+// Circuit is an immutable arithmetic circuit in topological order.
+type Circuit struct {
+	gates    []Gate
+	numWires int
+	// inputsByClient[c] lists input gate indices of client c in order.
+	inputsByClient map[int][]int
+	// outputsByClient[c] lists output gate indices of client c in order.
+	outputsByClient map[int][]int
+	// mulDepth[w] is the multiplicative depth of the value on wire w.
+	mulDepth []int
+	numMul   int
+	numAdd   int
+}
+
+// Errors returned by the builder and evaluator.
+var (
+	ErrNoOutputs   = errors.New("circuit: no output gates")
+	ErrBadWire     = errors.New("circuit: wire does not exist")
+	ErrMissingData = errors.New("circuit: missing client input")
+)
+
+// Builder assembles a circuit. Methods panic on structurally invalid wires
+// (using a wire before creating it), since that is a programming error, and
+// Build returns errors for semantic problems.
+type Builder struct {
+	gates    []Gate
+	numWires int
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+func (b *Builder) newWire() WireID {
+	w := WireID(b.numWires)
+	b.numWires++
+	return w
+}
+
+func (b *Builder) checkWire(w WireID) {
+	if int(w) < 0 || int(w) >= b.numWires {
+		panic(fmt.Sprintf("circuit: %v used before definition", w))
+	}
+}
+
+// Input adds an input gate owned by client and returns its wire.
+func (b *Builder) Input(client int) WireID {
+	out := b.newWire()
+	b.gates = append(b.gates, Gate{Kind: KindInput, A: -1, B: -1, Out: out, Client: client})
+	return out
+}
+
+// Add returns a wire carrying a + b.
+func (b *Builder) Add(a, bb WireID) WireID {
+	b.checkWire(a)
+	b.checkWire(bb)
+	out := b.newWire()
+	b.gates = append(b.gates, Gate{Kind: KindAdd, A: a, B: bb, Out: out})
+	return out
+}
+
+// Sub returns a wire carrying a - b.
+func (b *Builder) Sub(a, bb WireID) WireID {
+	b.checkWire(a)
+	b.checkWire(bb)
+	out := b.newWire()
+	b.gates = append(b.gates, Gate{Kind: KindSub, A: a, B: bb, Out: out})
+	return out
+}
+
+// ConstMul returns a wire carrying c·a.
+func (b *Builder) ConstMul(c field.Element, a WireID) WireID {
+	b.checkWire(a)
+	out := b.newWire()
+	b.gates = append(b.gates, Gate{Kind: KindConstMul, A: a, B: -1, Const: c, Out: out})
+	return out
+}
+
+// Mul returns a wire carrying a · b.
+func (b *Builder) Mul(a, bb WireID) WireID {
+	b.checkWire(a)
+	b.checkWire(bb)
+	out := b.newWire()
+	b.gates = append(b.gates, Gate{Kind: KindMul, A: a, B: bb, Out: out})
+	return out
+}
+
+// Output marks wire a as an output delivered to client.
+func (b *Builder) Output(a WireID, client int) {
+	b.checkWire(a)
+	b.gates = append(b.gates, Gate{Kind: KindOutput, A: a, B: -1, Out: -1, Client: client})
+}
+
+// Const returns a wire carrying the public constant c.
+func (b *Builder) Const(c field.Element) WireID {
+	out := b.newWire()
+	b.gates = append(b.gates, Gate{Kind: KindConst, A: -1, B: -1, Const: c, Out: out})
+	return out
+}
+
+// Build finalizes the circuit.
+func (b *Builder) Build() (*Circuit, error) {
+	c := &Circuit{
+		gates:           append([]Gate(nil), b.gates...),
+		numWires:        b.numWires,
+		inputsByClient:  map[int][]int{},
+		outputsByClient: map[int][]int{},
+		mulDepth:        make([]int, b.numWires),
+	}
+	hasOutput := false
+	for i, g := range c.gates {
+		switch g.Kind {
+		case KindInput:
+			c.inputsByClient[g.Client] = append(c.inputsByClient[g.Client], i)
+			c.mulDepth[g.Out] = 0
+		case KindAdd, KindSub:
+			c.mulDepth[g.Out] = max(c.mulDepth[g.A], c.mulDepth[g.B])
+			c.numAdd++
+		case KindConstMul:
+			c.mulDepth[g.Out] = c.mulDepth[g.A]
+			c.numAdd++
+		case KindMul:
+			c.mulDepth[g.Out] = max(c.mulDepth[g.A], c.mulDepth[g.B]) + 1
+			c.numMul++
+		case KindOutput:
+			c.outputsByClient[g.Client] = append(c.outputsByClient[g.Client], i)
+			hasOutput = true
+		case KindConst:
+			c.mulDepth[g.Out] = 0
+			c.numAdd++
+		default:
+			return nil, fmt.Errorf("circuit: gate %d has unknown kind %v", i, g.Kind)
+		}
+	}
+	if !hasOutput {
+		return nil, ErrNoOutputs
+	}
+	return c, nil
+}
+
+// Gates returns the gates in topological order. The slice must not be
+// mutated.
+func (c *Circuit) Gates() []Gate { return c.gates }
+
+// NumWires returns the number of wires.
+func (c *Circuit) NumWires() int { return c.numWires }
+
+// NumMul returns the number of multiplication gates.
+func (c *Circuit) NumMul() int { return c.numMul }
+
+// NumLinear returns the number of free (add/sub/constmul) gates.
+func (c *Circuit) NumLinear() int { return c.numAdd }
+
+// Depth returns the multiplicative depth of the circuit.
+func (c *Circuit) Depth() int {
+	d := 0
+	for _, g := range c.gates {
+		if g.Kind == KindMul && c.mulDepth[g.Out] > d {
+			d = c.mulDepth[g.Out]
+		}
+	}
+	return d
+}
+
+// Clients returns the sorted set of client ids appearing on inputs or
+// outputs.
+func (c *Circuit) Clients() []int {
+	seen := map[int]bool{}
+	for cl := range c.inputsByClient {
+		seen[cl] = true
+	}
+	for cl := range c.outputsByClient {
+		seen[cl] = true
+	}
+	out := make([]int, 0, len(seen))
+	for cl := range seen {
+		out = append(out, cl)
+	}
+	sortInts(out)
+	return out
+}
+
+// InputGates returns the indices of client's input gates in order.
+func (c *Circuit) InputGates(client int) []int { return c.inputsByClient[client] }
+
+// OutputGates returns the indices of client's output gates in order.
+func (c *Circuit) OutputGates(client int) []int { return c.outputsByClient[client] }
+
+// InputCount returns the number of inputs client must supply.
+func (c *Circuit) InputCount(client int) int { return len(c.inputsByClient[client]) }
+
+// Eval is the plaintext reference evaluator: it computes all wire values
+// from the client inputs and returns each client's outputs in gate order.
+func (c *Circuit) Eval(inputs map[int][]field.Element) (map[int][]field.Element, error) {
+	wires, err := c.EvalWires(inputs)
+	if err != nil {
+		return nil, err
+	}
+	out := map[int][]field.Element{}
+	for client, gates := range c.outputsByClient {
+		vals := make([]field.Element, len(gates))
+		for i, gi := range gates {
+			vals[i] = wires[c.gates[gi].A]
+		}
+		out[client] = vals
+	}
+	return out, nil
+}
+
+// EvalWires computes every wire value. Exposed for protocol tests that
+// compare intermediate wire values.
+func (c *Circuit) EvalWires(inputs map[int][]field.Element) ([]field.Element, error) {
+	wires := make([]field.Element, c.numWires)
+	given := map[int]int{}
+	for _, g := range c.gates {
+		switch g.Kind {
+		case KindInput:
+			vals := inputs[g.Client]
+			idx := given[g.Client]
+			if idx >= len(vals) {
+				return nil, fmt.Errorf("%w: client %d supplied %d of %d inputs",
+					ErrMissingData, g.Client, len(vals), len(c.inputsByClient[g.Client]))
+			}
+			wires[g.Out] = vals[idx]
+			given[g.Client] = idx + 1
+		case KindAdd:
+			wires[g.Out] = wires[g.A].Add(wires[g.B])
+		case KindSub:
+			wires[g.Out] = wires[g.A].Sub(wires[g.B])
+		case KindConstMul:
+			wires[g.Out] = g.Const.Mul(wires[g.A])
+		case KindMul:
+			wires[g.Out] = wires[g.A].Mul(wires[g.B])
+		case KindConst:
+			wires[g.Out] = g.Const
+		case KindOutput:
+			// no wire effect
+		}
+	}
+	return wires, nil
+}
+
+// MulBatch is a group of at most k multiplication gates at the same
+// multiplicative depth, evaluated together as one packed unit.
+type MulBatch struct {
+	// Layer is the multiplicative depth (1-based).
+	Layer int
+	// Gates are indices into Gates() of the member mul gates.
+	Gates []int
+}
+
+// MulBatches groups multiplication gates by layer into batches of at most k.
+// Every batch's gates all have inputs available once the previous layers'
+// outputs are public, so the protocol can process layer l batches after
+// reconstructing layer l-1.
+func (c *Circuit) MulBatches(k int) []MulBatch {
+	if k < 1 {
+		k = 1
+	}
+	byLayer := map[int][]int{}
+	maxLayer := 0
+	for i, g := range c.gates {
+		if g.Kind != KindMul {
+			continue
+		}
+		l := c.mulDepth[g.Out]
+		byLayer[l] = append(byLayer[l], i)
+		if l > maxLayer {
+			maxLayer = l
+		}
+	}
+	var out []MulBatch
+	for l := 1; l <= maxLayer; l++ {
+		gates := byLayer[l]
+		for start := 0; start < len(gates); start += k {
+			end := min(start+k, len(gates))
+			out = append(out, MulBatch{Layer: l, Gates: append([]int(nil), gates[start:end]...)})
+		}
+	}
+	return out
+}
+
+// MaxWidth returns the largest number of multiplication gates in any layer —
+// the "circuit width" of the paper's amortization assumption.
+func (c *Circuit) MaxWidth() int {
+	byLayer := map[int]int{}
+	w := 0
+	for _, g := range c.gates {
+		if g.Kind != KindMul {
+			continue
+		}
+		l := c.mulDepth[g.Out]
+		byLayer[l]++
+		if byLayer[l] > w {
+			w = byLayer[l]
+		}
+	}
+	return w
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

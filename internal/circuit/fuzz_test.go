@@ -1,0 +1,31 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that arbitrary inputs never panic the parser and that
+// accepted circuits round-trip through Format.
+func FuzzParse(f *testing.F) {
+	f.Add("input 0\ninput 1\nmul w0 w1\noutput w2 0\n")
+	f.Add("# comment\ninput 0\nconstmul 42 w0\noutput w1 7\n")
+	f.Add("input 0\nadd w0 w0\nsub w1 w0\noutput w2 0\n")
+	f.Add("")
+	f.Add("garbage\n\x00\xff")
+	f.Add("input 0\noutput w99 0\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		// Accepted circuits must survive a Format/Parse round trip.
+		c2, err := Parse(strings.NewReader(Format(c)))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if Format(c) != Format(c2) {
+			t.Fatal("round trip changed the circuit")
+		}
+	})
+}

@@ -1,0 +1,187 @@
+package circuit
+
+import (
+	"testing"
+
+	"yosompc/internal/field"
+)
+
+// evalBoth checks that Optimize preserves the circuit's function for the
+// given inputs and returns (original, optimized).
+func evalBoth(t *testing.T, c *Circuit, in map[int][]field.Element) (*Circuit, *Circuit) {
+	t.Helper()
+	opt, err := Optimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.Eval(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := opt.Eval(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for client, vals := range want {
+		if !field.EqualVec(got[client], vals) {
+			t.Errorf("client %d: optimized %v, original %v", client, got[client], vals)
+		}
+	}
+	return c, opt
+}
+
+func TestOptimizeDeadMulElimination(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input(0)
+	y := b.Input(1)
+	b.Mul(x, y) // dead: never reaches an output
+	b.Mul(y, y) // dead
+	b.Output(b.Add(x, y), 0)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, opt := evalBoth(t, c, inputs(map[int][]uint64{0: {3}, 1: {4}}))
+	if opt.NumMul() != 0 {
+		t.Errorf("dead muls survived: %d", opt.NumMul())
+	}
+}
+
+func TestOptimizeCSE(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input(0)
+	y := b.Input(1)
+	m1 := b.Mul(x, y)
+	m2 := b.Mul(y, x) // same product, commuted
+	b.Output(b.Add(m1, m2), 0)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, opt := evalBoth(t, c, inputs(map[int][]uint64{0: {5}, 1: {7}}))
+	if opt.NumMul() != 1 {
+		t.Errorf("commuted duplicate mul not merged: %d muls", opt.NumMul())
+	}
+}
+
+func TestOptimizeConstFolding(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input(0)
+	a := b.ConstMul(field.New(3), x)
+	bb := b.ConstMul(field.New(5), a) // 15·x
+	one := b.ConstMul(field.One, bb)  // identity
+	b.Output(one, 0)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, opt := evalBoth(t, c, inputs(map[int][]uint64{0: {2}}))
+	// One surviving constmul (15·x); the 1· disappears.
+	if opt.NumLinear() != 1 {
+		t.Errorf("const chain not folded: %d linear gates", opt.NumLinear())
+	}
+}
+
+func TestOptimizeZeroCollapse(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input(0)
+	z1 := b.Sub(x, x)               // 0
+	z2 := b.ConstMul(field.Zero, x) // 0
+	b.Output(b.Add(z1, z2), 0)      // 0
+	b.Output(b.Mul(z1, x), 0)       // 0
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, opt := evalBoth(t, c, inputs(map[int][]uint64{0: {9}}))
+	if opt.NumWires() >= orig.NumWires() {
+		t.Errorf("zero collapse did not shrink: %d vs %d wires", opt.NumWires(), orig.NumWires())
+	}
+}
+
+func TestOptimizePreservesFunctionOnGenerators(t *testing.T) {
+	gens := map[string]func() (*Circuit, error){
+		"inner":  func() (*Circuit, error) { return InnerProduct(4) },
+		"poly":   func() (*Circuit, error) { return PolyEval(3) },
+		"stats":  func() (*Circuit, error) { return Statistics(3) },
+		"wide":   func() (*Circuit, error) { return WideMul(4, 3) },
+		"random": func() (*Circuit, error) { return Random(5, 50, 7) },
+	}
+	for name, gen := range gens {
+		t.Run(name, func(t *testing.T) {
+			c, err := gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := map[int][]field.Element{}
+			for _, client := range c.Clients() {
+				vals := make([]field.Element, c.InputCount(client))
+				for i := range vals {
+					vals[i] = field.New(uint64(client*13 + i + 2))
+				}
+				in[client] = vals
+			}
+			orig, opt := evalBoth(t, c, in)
+			if opt.NumMul() > orig.NumMul() {
+				t.Errorf("optimizer added muls: %d > %d", opt.NumMul(), orig.NumMul())
+			}
+		})
+	}
+}
+
+func TestOptimizeRandomCircuitsShrink(t *testing.T) {
+	// Random circuits have a single output, so most gates are dead; the
+	// optimizer must remove them all.
+	c, err := Random(4, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Optimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.NumMul()+opt.NumLinear() >= c.NumMul()+c.NumLinear() {
+		t.Errorf("no shrink: %d+%d vs %d+%d gates",
+			opt.NumMul(), opt.NumLinear(), c.NumMul(), c.NumLinear())
+	}
+}
+
+func TestOptimizeKeepsInputLayout(t *testing.T) {
+	// Unused inputs must survive (the client interface is fixed).
+	b := NewBuilder()
+	x := b.Input(0)
+	b.Input(0) // unused
+	b.Input(1) // unused
+	b.Output(x, 1)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Optimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.InputCount(0) != 2 || opt.InputCount(1) != 1 {
+		t.Errorf("input layout changed: %d/%d", opt.InputCount(0), opt.InputCount(1))
+	}
+	// And evaluation still works with the full input vectors.
+	evalBoth(t, c, inputs(map[int][]uint64{0: {8, 9}, 1: {10}}))
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	c, err := Random(4, 60, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	once, err := Optimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := Optimize(once)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Format(once) != Format(twice) {
+		t.Error("optimizer not idempotent")
+	}
+}

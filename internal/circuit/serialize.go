@@ -1,0 +1,163 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"yosompc/internal/field"
+)
+
+// Text format for circuits, one gate per line, wires named w<N> in
+// creation order:
+//
+//	# comments and blank lines are ignored
+//	input <client>            # creates the next wire
+//	add <wire> <wire>
+//	sub <wire> <wire>
+//	constmul <scalar> <wire>
+//	mul <wire> <wire>
+//	output <wire> <client>
+//
+// The format round-trips through Format/Parse and feeds cmd/yosompc's
+// -file flag.
+
+// Format renders a circuit in the text format.
+func Format(c *Circuit) string {
+	var b strings.Builder
+	for _, g := range c.gates {
+		switch g.Kind {
+		case KindInput:
+			fmt.Fprintf(&b, "input %d\n", g.Client)
+		case KindAdd:
+			fmt.Fprintf(&b, "add w%d w%d\n", g.A, g.B)
+		case KindSub:
+			fmt.Fprintf(&b, "sub w%d w%d\n", g.A, g.B)
+		case KindConstMul:
+			fmt.Fprintf(&b, "constmul %d w%d\n", g.Const.Uint64(), g.A)
+		case KindMul:
+			fmt.Fprintf(&b, "mul w%d w%d\n", g.A, g.B)
+		case KindOutput:
+			fmt.Fprintf(&b, "output w%d %d\n", g.A, g.Client)
+		case KindConst:
+			fmt.Fprintf(&b, "const %d\n", g.Const.Uint64())
+		}
+	}
+	return b.String()
+}
+
+// Parse reads the text format and builds the circuit.
+func Parse(r io.Reader) (*Circuit, error) {
+	b := NewBuilder()
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if err := parseGate(b, fields); err != nil {
+			return nil, fmt.Errorf("circuit: line %d: %w", lineNo, err)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("circuit: reading: %w", err)
+	}
+	return b.Build()
+}
+
+func parseGate(b *Builder, fields []string) error {
+	op := fields[0]
+	argc := map[string]int{
+		"input": 1, "add": 2, "sub": 2, "constmul": 2, "mul": 2, "output": 2, "const": 1,
+	}
+	want, ok := argc[op]
+	if !ok {
+		return fmt.Errorf("unknown gate %q", op)
+	}
+	if len(fields)-1 != want {
+		return fmt.Errorf("%s takes %d operands, got %d", op, want, len(fields)-1)
+	}
+	switch op {
+	case "input":
+		client, err := parseClient(fields[1])
+		if err != nil {
+			return err
+		}
+		b.Input(client)
+	case "add", "sub", "mul":
+		a, err := parseWire(b, fields[1])
+		if err != nil {
+			return err
+		}
+		bb, err := parseWire(b, fields[2])
+		if err != nil {
+			return err
+		}
+		switch op {
+		case "add":
+			b.Add(a, bb)
+		case "sub":
+			b.Sub(a, bb)
+		case "mul":
+			b.Mul(a, bb)
+		}
+	case "constmul":
+		scalar, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad scalar %q: %v", fields[1], err)
+		}
+		a, err := parseWire(b, fields[2])
+		if err != nil {
+			return err
+		}
+		b.ConstMul(field.New(scalar), a)
+	case "const":
+		v, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad constant %q: %v", fields[1], err)
+		}
+		b.Const(field.New(v))
+	case "output":
+		a, err := parseWire(b, fields[1])
+		if err != nil {
+			return err
+		}
+		client, err := parseClient(fields[2])
+		if err != nil {
+			return err
+		}
+		b.Output(a, client)
+	}
+	return nil
+}
+
+func parseWire(b *Builder, s string) (WireID, error) {
+	if !strings.HasPrefix(s, "w") {
+		return 0, fmt.Errorf("bad wire %q (want wN)", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad wire %q", s)
+	}
+	if n >= b.numWires {
+		return 0, fmt.Errorf("wire w%d used before definition (have %d wires)", n, b.numWires)
+	}
+	return WireID(n), nil
+}
+
+func parseClient(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad client %q", s)
+	}
+	return n, nil
+}

@@ -1,0 +1,112 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+
+	"yosompc/internal/field"
+)
+
+func TestParseBasic(t *testing.T) {
+	src := `
+# (x + y) · 3x for two clients
+input 0        # w0 = x
+input 1        # w1 = y
+add w0 w1      # w2
+constmul 3 w0  # w3
+mul w2 w3      # w4
+output w4 0
+`
+	c, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Eval(inputs(map[int][]uint64{0: {5}, 1: {2}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (5+2)·15 = 105.
+	if out[0][0] != field.New(105) {
+		t.Errorf("output = %v, want 105", out[0][0])
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	generators := map[string]func() (*Circuit, error){
+		"inner-product": func() (*Circuit, error) { return InnerProduct(3) },
+		"poly-eval":     func() (*Circuit, error) { return PolyEval(2) },
+		"stats":         func() (*Circuit, error) { return Statistics(3) },
+		"wide":          func() (*Circuit, error) { return WideMul(4, 2) },
+		"random":        func() (*Circuit, error) { return Random(4, 20, 99) },
+	}
+	for name, gen := range generators {
+		t.Run(name, func(t *testing.T) {
+			orig, err := gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			parsed, err := Parse(strings.NewReader(Format(orig)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if Format(parsed) != Format(orig) {
+				t.Error("format not stable under round trip")
+			}
+			in := inputs(map[int][]uint64{})
+			for _, client := range orig.Clients() {
+				vals := make([]uint64, orig.InputCount(client))
+				for i := range vals {
+					vals[i] = uint64(client*3 + i + 1)
+				}
+				m := inputs(map[int][]uint64{client: vals})
+				in[client] = m[client]
+			}
+			wantOut, err := orig.Eval(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotOut, err := parsed.Eval(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for client, want := range wantOut {
+				if !field.EqualVec(gotOut[client], want) {
+					t.Errorf("client %d: %v vs %v", client, gotOut[client], want)
+				}
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown gate":      "frobnicate w0 w1\n",
+		"wrong arity":       "add w0\n",
+		"undefined wire":    "input 0\nadd w0 w5\noutput w0 0\n",
+		"bad wire syntax":   "input 0\nadd w0 x1\noutput w0 0\n",
+		"negative wire":     "input 0\nadd w0 w-1\noutput w0 0\n",
+		"bad scalar":        "input 0\nconstmul abc w0\noutput w0 0\n",
+		"bad client":        "input banana\n",
+		"negative client":   "input -2\n",
+		"no outputs":        "input 0\n",
+		"bad output client": "input 0\noutput w0 x\n",
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Parse(strings.NewReader(src)); err == nil {
+				t.Errorf("accepted %q", src)
+			}
+		})
+	}
+}
+
+func TestParseCommentsAndWhitespace(t *testing.T) {
+	src := "\n\n# leading comment\n   input 0   \ninput 0\n\tadd w0 w1\noutput w2 0 # trailing\n"
+	c, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumWires() != 3 {
+		t.Errorf("wires = %d", c.NumWires())
+	}
+}

@@ -1,0 +1,200 @@
+// Package comm measures and reports communication: every byte posted to
+// the broadcast channel is attributed to a protocol phase and a message
+// category. Communication complexity is the paper's metric, so the meter
+// is the instrument every experiment reads.
+package comm
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Phase names a protocol phase.
+type Phase string
+
+// The protocol's phases.
+const (
+	PhaseSetup   Phase = "setup"
+	PhaseOffline Phase = "offline"
+	PhaseOnline  Phase = "online"
+)
+
+// Category names a message category within a phase.
+type Category string
+
+// Message categories used by the protocols.
+const (
+	CatBeaver    Category = "beaver-triples"
+	CatLambda    Category = "wire-randomness"
+	CatPacking   Category = "packing-helpers"
+	CatPartial   Category = "partial-decryptions"
+	CatReshare   Category = "key-resharing"
+	CatReencrypt Category = "re-encryptions"
+	CatKFF       Category = "keys-for-future"
+	CatProof     Category = "proofs"
+	CatMu        Category = "mu-openings"
+	CatInput     Category = "client-inputs"
+	CatOutput    Category = "client-outputs"
+	CatRoleKeys  Category = "role-keys"
+	CatCRS       Category = "crs"
+)
+
+// Meter accumulates byte counts. The zero value is ready to use and safe
+// for concurrent use.
+type Meter struct {
+	mu       sync.Mutex
+	total    int64
+	postings int64
+	byPhase  map[Phase]int64
+	byCat    map[Phase]map[Category]int64
+}
+
+// Add records size bytes in the given phase and category.
+func (m *Meter) Add(phase Phase, cat Category, size int) {
+	if size < 0 {
+		panic(fmt.Sprintf("comm: negative size %d", size))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.byPhase == nil {
+		m.byPhase = map[Phase]int64{}
+		m.byCat = map[Phase]map[Category]int64{}
+	}
+	m.total += int64(size)
+	m.postings++
+	m.byPhase[phase] += int64(size)
+	if m.byCat[phase] == nil {
+		m.byCat[phase] = map[Category]int64{}
+	}
+	m.byCat[phase][cat] += int64(size)
+}
+
+// Report returns an immutable snapshot.
+func (m *Meter) Report() Report {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := Report{
+		Total:    m.total,
+		Postings: m.postings,
+		ByPhase:  map[Phase]int64{},
+		ByCat:    map[Phase]map[Category]int64{},
+	}
+	for p, v := range m.byPhase {
+		r.ByPhase[p] = v
+	}
+	for p, cats := range m.byCat {
+		r.ByCat[p] = map[Category]int64{}
+		for c, v := range cats {
+			r.ByCat[p][c] = v
+		}
+	}
+	return r
+}
+
+// Reset zeroes the meter.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.total = 0
+	m.postings = 0
+	m.byPhase = nil
+	m.byCat = nil
+}
+
+// Report is a snapshot of a Meter.
+type Report struct {
+	// Total is the number of bytes posted across all phases.
+	Total int64
+	// Postings is the number of individual posts.
+	Postings int64
+	// ByPhase breaks Total down by phase.
+	ByPhase map[Phase]int64
+	// ByCat breaks each phase down by category.
+	ByCat map[Phase]map[Category]int64
+}
+
+// Phase returns the byte count of one phase.
+func (r Report) Phase(p Phase) int64 { return r.ByPhase[p] }
+
+// PerGate returns phase bytes divided by the gate count.
+func (r Report) PerGate(p Phase, gates int) float64 {
+	if gates == 0 {
+		return 0
+	}
+	return float64(r.ByPhase[p]) / float64(gates)
+}
+
+// String renders a human-readable table.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "total: %s in %d postings\n", HumanBytes(r.Total), r.Postings)
+	phases := make([]string, 0, len(r.ByPhase))
+	for p := range r.ByPhase {
+		phases = append(phases, string(p))
+	}
+	sort.Strings(phases)
+	for _, ps := range phases {
+		p := Phase(ps)
+		fmt.Fprintf(&b, "  %-8s %s\n", p, HumanBytes(r.ByPhase[p]))
+		cats := make([]string, 0, len(r.ByCat[p]))
+		for c := range r.ByCat[p] {
+			cats = append(cats, string(c))
+		}
+		sort.Strings(cats)
+		for _, cs := range cats {
+			fmt.Fprintf(&b, "    %-22s %s\n", cs, HumanBytes(r.ByCat[p][Category(cs)]))
+		}
+	}
+	return b.String()
+}
+
+// MarshalJSON renders the report as a stable JSON document for tooling.
+func (r Report) MarshalJSON() ([]byte, error) {
+	type phaseDoc struct {
+		Total      int64            `json:"total"`
+		Categories map[string]int64 `json:"categories"`
+	}
+	doc := struct {
+		Total    int64               `json:"total"`
+		Postings int64               `json:"postings"`
+		Phases   map[string]phaseDoc `json:"phases"`
+	}{
+		Total:    r.Total,
+		Postings: r.Postings,
+		Phases:   map[string]phaseDoc{},
+	}
+	for p, v := range r.ByPhase {
+		pd := phaseDoc{Total: v, Categories: map[string]int64{}}
+		for c, cv := range r.ByCat[p] {
+			pd.Categories[string(c)] = cv
+		}
+		doc.Phases[string(p)] = pd
+	}
+	return json.Marshal(doc)
+}
+
+// HumanBytes renders a byte count with a binary unit suffix.
+func HumanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// Ratio returns a/b as a float, 0 when b is 0 — used for improvement
+// factors between baseline and packed online phases.
+func Ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

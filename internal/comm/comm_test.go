@@ -1,0 +1,139 @@
+package comm
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeterZeroValueUsable(t *testing.T) {
+	var m Meter
+	m.Add(PhaseSetup, CatCRS, 10)
+	if m.Report().Total != 10 {
+		t.Error("zero-value meter broken")
+	}
+}
+
+func TestMeterConcurrent(t *testing.T) {
+	var m Meter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Add(PhaseOnline, CatMu, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	r := m.Report()
+	if r.Total != 8000 || r.Postings != 8000 {
+		t.Errorf("total=%d postings=%d, want 8000 each", r.Total, r.Postings)
+	}
+}
+
+func TestMeterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative size accepted")
+		}
+	}()
+	var m Meter
+	m.Add(PhaseSetup, CatCRS, -1)
+}
+
+func TestReportIsSnapshot(t *testing.T) {
+	var m Meter
+	m.Add(PhaseOnline, CatMu, 5)
+	r := m.Report()
+	m.Add(PhaseOnline, CatMu, 5)
+	if r.Total != 5 {
+		t.Error("report mutated after snapshot")
+	}
+	// Mutating the snapshot's maps must not affect the meter.
+	r.ByPhase[PhaseOnline] = 999
+	if m.Report().Phase(PhaseOnline) != 10 {
+		t.Error("snapshot aliases meter state")
+	}
+}
+
+func TestReportTotalsConsistent(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		var m Meter
+		var want int64
+		for i, s := range sizes {
+			phase := PhaseOffline
+			if i%2 == 0 {
+				phase = PhaseOnline
+			}
+			m.Add(phase, CatProof, int(s))
+			want += int64(s)
+		}
+		r := m.Report()
+		var sum int64
+		for _, v := range r.ByPhase {
+			sum += v
+		}
+		var catSum int64
+		for _, cats := range r.ByCat {
+			for _, v := range cats {
+				catSum += v
+			}
+		}
+		return r.Total == want && sum == want && catSum == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReportStringStable(t *testing.T) {
+	var m Meter
+	m.Add(PhaseOffline, CatBeaver, 100)
+	m.Add(PhaseOffline, CatLambda, 50)
+	m.Add(PhaseSetup, CatCRS, 1)
+	s1 := m.Report().String()
+	s2 := m.Report().String()
+	if s1 != s2 {
+		t.Error("report rendering not deterministic")
+	}
+	for _, want := range []string{"offline", "setup", "beaver-triples", "wire-randomness"} {
+		if !strings.Contains(s1, want) {
+			t.Errorf("report missing %q:\n%s", want, s1)
+		}
+	}
+}
+
+func TestHumanBytesBoundaries(t *testing.T) {
+	cases := map[int64]string{
+		0:         "0 B",
+		1023:      "1023 B",
+		1024:      "1.00 KiB",
+		1<<20 - 1: "1024.00 KiB",
+		1 << 20:   "1.00 MiB",
+		1 << 30:   "1.00 GiB",
+	}
+	for n, want := range cases {
+		if got := HumanBytes(n); got != want {
+			t.Errorf("HumanBytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	var m Meter
+	m.Add(PhaseOffline, CatBeaver, 100)
+	m.Add(PhaseOnline, CatMu, 8)
+	buf, err := m.Report().MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(buf)
+	for _, want := range []string{`"total":108`, `"postings":2`, `"beaver-triples":100`, `"mu-openings":8`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"sync"
+
+	"yosompc/internal/circuit"
+	"yosompc/internal/comm"
+	"yosompc/internal/field"
+	"yosompc/internal/nizk"
+	"yosompc/internal/pke"
+	"yosompc/internal/sharing"
+	"yosompc/internal/transport"
+	"yosompc/internal/tte"
+	"yosompc/internal/yoso"
+)
+
+// Protocol is a configured instance of the paper's YOSO MPC protocol for
+// one circuit. Create it with New and execute it with Run.
+type Protocol struct {
+	params Params
+	circ   *circuit.Circuit
+	board  *transport.Board
+	assign *yoso.Assignment
+	auth   *nizk.Authority
+	audit  *Auditor
+}
+
+// Result is the outcome of a protocol run.
+type Result struct {
+	// Outputs maps each client to its output values in gate order.
+	Outputs map[int][]field.Element
+	// Report is the communication breakdown of the run.
+	Report comm.Report
+	// Excluded lists roles whose proofs failed verification (malicious)
+	// and roles that never spoke (fail-stop).
+	Excluded []string
+	// Audit is the key-usage trace (paper Figure 1).
+	Audit []AuditEvent
+	// Rounds is the number of sequential broadcast rounds (committee
+	// speaks; parallel client speaks count as one round).
+	Rounds int
+}
+
+// New configures a protocol run. A nil meter creates a private one.
+func New(params Params, circ *circuit.Circuit, meter *comm.Meter) (*Protocol, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if circ == nil {
+		return nil, fmt.Errorf("%w: nil circuit", ErrBadParams)
+	}
+	auth, err := nizk.NewAuthority()
+	if err != nil {
+		return nil, err
+	}
+	board := transport.NewBoard(meter)
+	return &Protocol{
+		params: params,
+		circ:   circ,
+		board:  board,
+		assign: yoso.NewAssignment(board, params.PKE, params.Adversary),
+		auth:   auth,
+		audit:  &Auditor{},
+	}, nil
+}
+
+// Board exposes the bulletin board (for inspection in tests and tools).
+func (p *Protocol) Board() *transport.Board { return p.board }
+
+// Run executes setup, offline and online phases and returns the outputs.
+// It is Prepare followed by a single Execute; callers that want the
+// deployment-realistic split (preprocess ahead of time, run online when
+// inputs arrive) use those directly.
+func (p *Protocol) Run(inputs map[int][]field.Element) (*Result, error) {
+	for _, client := range p.circ.Clients() {
+		if len(inputs[client]) != p.circ.InputCount(client) {
+			return nil, fmt.Errorf("%w: client %d supplied %d of %d inputs",
+				ErrWrongInputs, client, len(inputs[client]), p.circ.InputCount(client))
+		}
+	}
+	prepared, err := p.Prepare()
+	if err != nil {
+		return nil, err
+	}
+	return prepared.Execute(inputs)
+}
+
+// envelope is an addressed (PKE-encrypted) message on the board.
+type envelope struct {
+	From string
+	To   string
+	Ct   pke.Ciphertext
+}
+
+// beaverTriple holds the tpk-encrypted triple of one multiplication gate.
+type beaverTriple struct {
+	a, b, c tte.Ciphertext
+}
+
+// batchState carries everything the protocol accumulates for one batch of
+// (at most) k multiplication gates.
+type batchState struct {
+	circuit.MulBatch
+	// k is the effective packing width (may be below params.K on the
+	// tail batch of a layer).
+	k int
+	// helpers[kind][j] are the summed helper encryptions for packing
+	// (kind 0 = left λ, 1 = right λ, 2 = Γ), t per vector.
+	helpers [][]tte.Ciphertext
+	// packedLeft/packedRight/packedGamma are the per-index packed-share
+	// ciphertexts under tpk (offline Step 4).
+	packedLeft, packedRight, packedGamma []tte.Ciphertext
+	// envLeft/envRight/envGamma[i] are the Re-encrypt envelope sets
+	// addressed to online role i+1's KFF (offline Step 6): one envelope
+	// per OffRe member carrying a partial decryption.
+	envLeft, envRight, envGamma [][]envelope
+}
+
+// run is the mutable state of one protocol execution.
+type run struct {
+	p *Protocol
+	// ctx cancels the run between committee steps.
+	ctx context.Context
+
+	// committees (see the schedule in the package comment)
+	offB1, offB2, offR, offDec, offRe *yoso.Committee
+	// offBridge holds tsk across the offline/online boundary: OffRe can
+	// then speak entirely within the offline phase (all its targets are
+	// KFFs and offBridge's role keys), and only this single-purpose
+	// committee waits for the online role keys.
+	offBridge   *yoso.Committee
+	onC1, onOut *yoso.Committee
+	layers      []*yoso.Committee
+
+	// clients
+	clients map[int]*clientState
+
+	// threshold encryption state
+	tpk tte.PublicKey
+	// tskShares holds the current committee's reconstructed shares while
+	// the driver executes that committee's step; the dealer's epoch-0
+	// shares go to offDec.
+	offDecShares []tte.KeyShare
+	// handoffs[committee name][target index] collects encrypted tsk
+	// subshares addressed to that committee's members.
+	handoffs map[string]map[int][]envelope
+
+	// keys-for-future: one per online mul-layer role and one per client
+	kffLayer  [][]kffEntry // [layer][index-1]
+	kffClient map[int]*kffEntry
+
+	// per-wire λ ciphertexts under tpk
+	wireCt []tte.Ciphertext
+
+	// per-mul-gate Beaver triples (indexed by gate index in circ.Gates())
+	beaver map[int]*beaverTriple
+
+	// per-mul-gate Γ ciphertexts (λ^α·λ^β − λ^γ under tpk)
+	gammaCt map[int]tte.Ciphertext
+
+	// batches in layer order
+	batches []*batchState
+
+	// input-wire λ envelopes: for each input gate index, the Re-encrypt
+	// envelopes addressed to the owning client's KFF.
+	inputEnv map[int][]envelope
+
+	// public μ values per wire
+	mu      []field.Element
+	muKnown []bool
+
+	// bookkeeping
+	excluded []string
+}
+
+// clientState is the driver's view of one client (an input/output role).
+type clientState struct {
+	id   int
+	role *yoso.Role
+}
+
+// kffEntry is one key-for-future: the public key, the TEnc of the secret,
+// and (after OnC1's step) the envelope re-encrypting the secret to the
+// owner's role key.
+type kffEntry struct {
+	pub       pke.PublicKey
+	secretCt  tte.Ciphertext
+	delivered []envelope // partial-decryption envelopes under the owner's role key
+}
+
+// --- shared helpers ---------------------------------------------------
+
+// rolePost is one role's step contribution as read back from the board:
+// the payload and the attached proof. Fail-stop roles never produce one.
+type rolePost struct {
+	payload any
+	proof   nizk.Proof
+}
+
+// sized is implemented by step payloads so the board can meter them.
+type sized interface{ wireSize() int }
+
+// speak executes one role's speaking step. Honest roles compute their
+// payload with `honest` and attach an attested proof; malicious roles post
+// the payload from `malicious` (type-correct garbage) with a forged proof;
+// fail-stop roles post nothing. The returned pointer is nil when nothing
+// reached the board.
+func (r *run) speak(role *yoso.Role, phase comm.Phase, cat comm.Category, label string,
+	honest func() (sized, error), malicious func() sized) (*rolePost, error) {
+	switch role.Behavior {
+	case yoso.FailStop:
+		return nil, nil
+	case yoso.Malicious:
+		payload := malicious()
+		proof := r.p.auth.Forge()
+		role.Post(phase, cat, payload.wireSize(), payload)
+		role.Post(phase, comm.CatProof, proof.Size(), proof)
+		return &rolePost{payload: payload, proof: proof}, nil
+	default:
+		payload, err := honest()
+		if err != nil {
+			return nil, fmt.Errorf("core: %s at %s: %w", role.Name(), label, err)
+		}
+		proof := r.p.auth.Attest(r.statement(label, role.Name()))
+		role.Post(phase, cat, payload.wireSize(), payload)
+		role.Post(phase, comm.CatProof, proof.Size(), proof)
+		return &rolePost{payload: payload, proof: proof}, nil
+	}
+}
+
+// logStep emits a structured progress event when a logger is configured.
+func (r *run) logStep(label string, attrs ...any) {
+	if lg := r.p.params.Logger; lg != nil {
+		lg.Info("yosompc: "+label, attrs...)
+	}
+}
+
+func (r *run) statement(label, roleName string) []byte {
+	return nizk.NewStatement(label).AddString(roleName).Bytes()
+}
+
+// valid reports whether a role's posted proof verifies for the step.
+func (r *run) valid(role *yoso.Role, label string, post *rolePost) bool {
+	if post == nil {
+		return false
+	}
+	return r.p.auth.Verify(r.statement(label, role.Name()), post.proof)
+}
+
+// committeeStep runs `speak` for every member of a committee and returns
+// the map of verified posts (index → payload). Members whose proofs fail or
+// who never spoke are recorded in r.excluded. After the step the committee
+// receives the Spoke token.
+//
+// Members execute concurrently — they are independent machines, and the
+// per-role work (threshold exponentiations, envelope encryptions) dominates
+// real-backend wall clock. The board serializes postings internally; the
+// verified/excluded bookkeeping is joined after all members finish.
+func (r *run) committeeStep(c *yoso.Committee, phase comm.Phase, cat comm.Category, label string,
+	honest func(i int) (sized, error), malicious func(i int) sized) (map[int]any, error) {
+	if r.ctx != nil {
+		if err := r.ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: %s: %w", label, err)
+		}
+	}
+	type outcome struct {
+		post *rolePost
+		err  error
+	}
+	results := make([]outcome, c.N())
+	var wg sync.WaitGroup
+	for i := 1; i <= c.N(); i++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			post, err := r.speak(c.Role(idx), phase, cat, label,
+				func() (sized, error) { return honest(idx) },
+				func() sized { return malicious(idx) })
+			results[idx-1] = outcome{post: post, err: err}
+		}(i)
+	}
+	wg.Wait()
+	verified := make(map[int]any, c.N())
+	for idx1, res := range results {
+		idx := idx1 + 1
+		if res.err != nil {
+			return nil, res.err
+		}
+		role := c.Role(idx)
+		if r.valid(role, label, res.post) {
+			verified[idx] = res.post.payload
+		} else {
+			r.excluded = append(r.excluded, fmt.Sprintf("%s@%s (%s)", role.Name(), label, role.Behavior))
+			r.logStep("role excluded", "role", role.Name(), "step", label, "behavior", role.Behavior.String())
+		}
+	}
+	c.SpeakAll()
+	r.logStep("committee spoke", "committee", c.Name, "step", label,
+		"verified", len(verified), "of", c.N())
+	return verified, nil
+}
+
+// onesVec returns a slice of m big.Int ones — the (1)^|S| coefficient
+// vector of TEval sums.
+func onesVec(m int) []*big.Int {
+	out := make([]*big.Int, m)
+	for i := range out {
+		out[i] = big.NewInt(1)
+	}
+	return out
+}
+
+// fieldCoeff lifts a field element to the non-negative integer coefficient
+// TEval expects.
+func fieldCoeff(e field.Element) *big.Int { return new(big.Int).SetUint64(e.Uint64()) }
+
+// boundP is the public bound on a single field-element plaintext.
+var boundP = new(big.Int).SetUint64(field.Modulus)
+
+// reduceToField maps a decrypted integer to the MPC field.
+func reduceToField(v *big.Int) field.Element { return field.FromBig(v) }
+
+// combineEnvelopes decrypts the partial-decryption envelopes addressed to
+// `who`, decodes them, and combines them into the integer plaintext.
+func (r *run) combineEnvelopes(sk pke.SecretKey, envs []envelope, ct tte.Ciphertext) (*big.Int, error) {
+	te := r.p.params.TE
+	var parts []tte.PartialDec
+	for _, env := range envs {
+		data, err := sk.Decrypt(env.Ct)
+		if err != nil {
+			// Envelope not for us or corrupted — skip; GOD relies on
+			// the honest majority of envelopes.
+			continue
+		}
+		part, err := te.DecodePartial(r.tpk, data)
+		if err != nil {
+			continue
+		}
+		parts = append(parts, part)
+	}
+	v, err := te.Combine(r.tpk, ct, parts)
+	if err != nil {
+		return nil, fmt.Errorf("%w: combining %d envelopes: %v", ErrNotEnough, len(envs), err)
+	}
+	return v, nil
+}
+
+// reconstructShares interpolates packed secrets from μ-shares.
+func reconstructShares(shares []sharing.Share, degree, k int) ([]field.Element, error) {
+	if len(shares) < degree+1 {
+		return nil, fmt.Errorf("%w: have %d shares, need %d", ErrNotEnough, len(shares), degree+1)
+	}
+	return sharing.ReconstructPacked(shares[:degree+1], degree, k)
+}

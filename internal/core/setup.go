@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"yosompc/internal/comm"
+	"yosompc/internal/pke"
+)
+
+// kffSecretBound bounds the integer encoding of a KFF secret key
+// (pke.SecretKeySize = 32 bytes).
+var kffSecretBound = new(big.Int).Lsh(big.NewInt(1), 8*pke.SecretKeySize)
+
+// setup executes Π_YOSO-Setup (paper §5.1):
+//
+//  1. generate keys-for-future for every role of every online mul-layer
+//     committee and for every client, publishing the public halves and
+//     TEnc'ing the secret halves under tpk;
+//  2. publish the NIZK CRS (the attestation authority stands in for it);
+//  3. run TKGen; the epoch-0 shares are handed to the first tsk-holding
+//     offline committee when the offline phase forms it.
+func (r *run) setup() error {
+	p := r.p.params
+	te := p.TE
+
+	// TKGen.
+	tpk, shares, err := te.KeyGen(p.N, p.T)
+	if err != nil {
+		return fmt.Errorf("TKGen: %w", err)
+	}
+	r.tpk = tpk
+	r.offDecShares = shares
+	// Publishing tpk: modelled as one ciphertext-sized posting.
+	r.p.board.Post("setup", comm.PhaseSetup, comm.CatCRS, tpk.CiphertextSize()/2, tpk)
+
+	// NIZK CRS: the authority key takes the place of the Groth–Maller crs.
+	r.p.board.Post("setup", comm.PhaseSetup, comm.CatCRS, 32, "nizkaok-crs")
+
+	// Known parties (clients). They are long-lived machines: their single
+	// *input-role* broadcast is still enforced, but their keys survive to
+	// receive outputs.
+	r.clients = map[int]*clientState{}
+	for _, id := range r.p.circ.Clients() {
+		role, err := r.p.assign.NewKnownParty("client", id, comm.PhaseSetup)
+		if err != nil {
+			return err
+		}
+		r.clients[id] = &clientState{id: id, role: role}
+	}
+
+	// Keys for future: one per online mul-layer role, one per client.
+	// The NoKFF ablation (§3.2's naive approach) skips them entirely and
+	// re-encrypts under role keys during the online phase instead.
+	depth := r.p.circ.Depth()
+	r.kffClient = map[int]*kffEntry{}
+	if !p.NoKFF {
+		r.kffLayer = make([][]kffEntry, depth)
+		for l := 0; l < depth; l++ {
+			r.kffLayer[l] = make([]kffEntry, p.N)
+			for i := 0; i < p.N; i++ {
+				entry, err := r.newKFF(fmt.Sprintf("on-layer%d/%d", l+1, i+1))
+				if err != nil {
+					return err
+				}
+				r.kffLayer[l][i] = *entry
+			}
+		}
+		for _, id := range r.p.circ.Clients() {
+			if r.p.circ.InputCount(id) == 0 {
+				continue // only input-contributing parties get a KFF (§5.1)
+			}
+			entry, err := r.newKFF(fmt.Sprintf("client/%d", id))
+			if err != nil {
+				return err
+			}
+			r.kffClient[id] = entry
+		}
+	}
+
+	r.initWireState()
+	return nil
+}
+
+// newKFF mints one key-for-future: publish pk, TEnc(tpk, sk).
+func (r *run) newKFF(owner string) (*kffEntry, error) {
+	p := r.p.params
+	pub, sec, err := p.PKE.GenerateKey()
+	if err != nil {
+		return nil, fmt.Errorf("KFF keygen for %s: %w", owner, err)
+	}
+	skInt := new(big.Int).SetBytes(sec.Bytes())
+	ct, err := p.TE.Encrypt(r.tpk, skInt, kffSecretBound)
+	if err != nil {
+		return nil, fmt.Errorf("TEnc of KFF secret for %s: %w", owner, err)
+	}
+	r.p.board.Post("setup", comm.PhaseSetup, comm.CatKFF, len(pub.Bytes())+ct.Size(), pub)
+	return &kffEntry{pub: pub, secretCt: ct}, nil
+}

@@ -1,0 +1,22 @@
+package field
+
+import "testing"
+
+// FuzzFromBytes checks the decoder never panics and accepts exactly the
+// canonical encodings.
+func FuzzFromBytes(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := FromBytes(data)
+		if err != nil {
+			return
+		}
+		buf := e.Bytes()
+		back, err := FromBytes(buf[:])
+		if err != nil || back != e {
+			t.Fatalf("canonical value failed round trip: %v %v", back, err)
+		}
+	})
+}

@@ -1,0 +1,231 @@
+// Package integration holds cross-module end-to-end scenarios that no
+// single package owns: backend consistency, pipeline composition
+// (parse → optimize → execute), and batched preprocessing.
+package integration
+
+import (
+	"strings"
+	"testing"
+
+	"yosompc/internal/baseline"
+	"yosompc/internal/circuit"
+	"yosompc/internal/core"
+	"yosompc/internal/field"
+	"yosompc/internal/paillier"
+	"yosompc/internal/pke"
+	"yosompc/internal/tte"
+	"yosompc/internal/yoso"
+)
+
+func simParams(n, t, k int) core.Params {
+	return core.Params{N: n, T: t, K: k, TE: tte.NewSim(512), PKE: pke.NewSim()}
+}
+
+func realParams(tb testing.TB, n, t, k int) core.Params {
+	tb.Helper()
+	te, err := tte.NewThreshold(paillier.FixedTestKey(2))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return core.Params{N: n, T: t, K: k, TE: te, PKE: pke.NewECIES()}
+}
+
+func run(t *testing.T, params core.Params, circ *circuit.Circuit, in map[int][]field.Element) *core.Result {
+	t.Helper()
+	proto, err := core.New(params, circ, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proto.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestBackendsAgree runs the same computation on the ideal and the real
+// backend and on the CDN baseline: all three must produce the plaintext
+// evaluator's outputs.
+func TestBackendsAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real crypto in -short mode")
+	}
+	circ, err := circuit.Statistics(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := map[int][]field.Element{
+		0: {field.New(10)}, 1: {field.New(20)}, 2: {field.New(33)},
+	}
+	want, err := circ.Eval(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	simRes := run(t, simParams(8, 2, 2), circ, in)
+	realRes := run(t, realParams(t, 6, 1, 2), circ, in)
+
+	bproto, err := baseline.New(baseline.Params{N: 5, T: 2, TE: tte.NewSim(512), PKE: pke.NewSim()}, circ, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRes, err := bproto.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for client, vals := range want {
+		for _, got := range [][]field.Element{simRes.Outputs[client], realRes.Outputs[client], baseRes.Outputs[client]} {
+			if !field.EqualVec(got, vals) {
+				t.Errorf("client %d: %v, want %v", client, got, vals)
+			}
+		}
+	}
+}
+
+// TestParseOptimizeExecutePipeline drives the full tooling pipeline: a
+// text circuit with redundancy is parsed, optimized, and executed; the
+// optimizer's multiplication savings translate into offline-byte savings.
+func TestParseOptimizeExecutePipeline(t *testing.T) {
+	src := `
+# redundant: m1 and m2 are the same product; m3 is dead
+input 0
+input 1
+mul w0 w1
+mul w1 w0
+mul w0 w0
+add w2 w3
+output w5 0
+`
+	parsed, err := circuit.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := circuit.Optimize(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.NumMul() >= parsed.NumMul() {
+		t.Fatalf("optimizer kept %d of %d muls", opt.NumMul(), parsed.NumMul())
+	}
+	in := map[int][]field.Element{0: {field.New(6)}, 1: {field.New(7)}}
+	resFull := run(t, simParams(6, 1, 1), parsed, in)
+	resOpt := run(t, simParams(6, 1, 1), opt, in)
+	if resFull.Outputs[0][0] != resOpt.Outputs[0][0] {
+		t.Errorf("outputs differ: %v vs %v", resFull.Outputs[0][0], resOpt.Outputs[0][0])
+	}
+	if resFull.Outputs[0][0] != field.New(84) { // 42 + 42
+		t.Errorf("output = %v, want 84", resFull.Outputs[0][0])
+	}
+	if resOpt.Report.Phase("offline") >= resFull.Report.Phase("offline") {
+		t.Errorf("optimization did not reduce offline bytes: %d vs %d",
+			resOpt.Report.Phase("offline"), resFull.Report.Phase("offline"))
+	}
+}
+
+// TestBatchedPreprocessing prepares several executions ahead of time and
+// consumes them one by one — the nightly-preprocessing deployment pattern.
+func TestBatchedPreprocessing(t *testing.T) {
+	circ, err := circuit.InnerProduct(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 3
+	prepared := make([]*core.Prepared, batch)
+	for i := range prepared {
+		proto, err := core.New(simParams(6, 1, 1), circ, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := proto.Prepare()
+		if err != nil {
+			t.Fatal(err)
+		}
+		prepared[i] = p
+	}
+	// Three different input sets against three independent preprocessings.
+	cases := []struct {
+		x, y []uint64
+		want uint64
+	}{
+		{[]uint64{1, 2}, []uint64{3, 4}, 11},
+		{[]uint64{5, 6}, []uint64{7, 8}, 83},
+		{[]uint64{9, 1}, []uint64{2, 3}, 21},
+	}
+	for i, c := range cases {
+		in := map[int][]field.Element{
+			0: {field.New(c.x[0]), field.New(c.x[1])},
+			1: {field.New(c.y[0]), field.New(c.y[1])},
+		}
+		res, err := prepared[i].Execute(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outputs[0][0] != field.New(c.want) {
+			t.Errorf("case %d: %v, want %d", i, res.Outputs[0][0], c.want)
+		}
+	}
+}
+
+// TestRobustAndFailStopCombined exercises §5.4 and IT-GOD together: halved
+// packing, crashed roles, and lying roles in every committee.
+func TestRobustAndFailStopCombined(t *testing.T) {
+	circ, err := circuit.WideMul(6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := map[int][]field.Element{
+		0: {field.New(2), field.New(3), field.New(4)},
+		1: {field.New(5), field.New(6), field.New(7)},
+	}
+	want, err := circ.Eval(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n=20, t=3, k=2: robust decoding threshold 3·3+2+1 = 12; with 3
+	// malicious + 3 crashed, 14 shares are posted (3 of them lies), and
+	// decoding needs deg(7)+2·3+1 = 14 of which ≥ 11 honest. 14−3 lies
+	// leaves 11 honest ✓.
+	params := simParams(20, 3, 2)
+	params.Robust = true
+	params.Adversary = yoso.NewAdversary(3, 3, 73)
+	res := run(t, params, circ, in)
+	if !field.EqualVec(res.Outputs[0], want[0]) {
+		t.Errorf("outputs %v, want %v", res.Outputs[0], want[0])
+	}
+}
+
+// TestDifferentCircuitsShareNothing makes sure two protocol instances are
+// fully isolated (no cross-talk through package state).
+func TestDifferentCircuitsShareNothing(t *testing.T) {
+	c1, err := circuit.InnerProduct(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := circuit.PolyEval(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := core.New(simParams(6, 1, 1), c1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := core.New(simParams(8, 2, 2), c2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 2)
+	go func() {
+		_, err := p1.Run(map[int][]field.Element{0: {field.New(1), field.New(2)}, 1: {field.New(3), field.New(4)}})
+		done <- err
+	}()
+	go func() {
+		_, err := p2.Run(map[int][]field.Element{0: {field.New(1), field.New(1), field.New(1)}, 1: {field.New(2)}})
+		done <- err
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

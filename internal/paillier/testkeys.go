@@ -1,0 +1,88 @@
+package paillier
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+)
+
+// Pre-generated safe primes used by FixedTestKey. Safe-prime search is slow
+// (seconds per prime), so tests and examples reuse these fixed values. They
+// provide no security and must never be used outside tests/demos; production
+// callers use GenerateSafeKey.
+var fixedSafePrimes256 = []string{
+	"d006bd49c255169d4f92bfae81a522de8540ee3ae0f5ed8cd3f2e7df5c7a1003",
+	"f3451b709acc60893072b8e6ad0c66c2a471246dc28ed6c329524da1ed7ef953",
+	"ffeb9a4706f48b1d26dc540ea34d6ac72f6d841cda2fbf7aae77b0ab1ad82267",
+	"d002c8a7ed152176dbf20e07b6c7409c1b09666f643660ea54e06c57fa7b4817",
+	"e535413c60fb13efddb642f6b0390bffb0468855a02410de227e9dcd85ba2c1f",
+	"cb6f42ab27cda4bc53f747afe580d55fe2a32dcf46ee19141ca635a11622d22f",
+	"e18be9a8c063c41f34c9aa11f97d91a58833384b860f1490e66a13d890ab51a7",
+	"f4bd2d3b26dbb8bda32d9bb6cfb7a2c9c3b7cfddc5c646b26206c294c6ee28bf",
+}
+
+var fixedSafePrimes384 = []string{
+	"cac00c87a4612bebe56131d1133f978dba3b4c89df8814eb899cbc875f6aa1be9398dd3f145d5148ce38354391a98813",
+	"cae5d4cef7a63d94d7e5f7c4365ea6f6fa9687bd10101d1f015ceccd23c840d505207b7d630e843c049571dba688f9f7",
+	"e0fb1cad46ffe27b91d49f3858c99b4dfdf0513194ec7f185a04f5c2ebdb9b13ef3e07d54319176354d5a021d95f6897",
+	"cc6ad26d65233c08601e7d6bef91a1511d76d16ea4968b00e67504d8bbac8ecac28fc1c907926ef8ac6851026006da93",
+}
+
+var (
+	fixedKeyMu    sync.Mutex
+	fixedKeyCache = map[int]*PrivateKey{}
+)
+
+// NumFixedTestKeys is the number of distinct 512-bit fixed test keys.
+const NumFixedTestKeys = 4
+
+// FixedTestKey returns the i-th deterministic 512-bit safe-prime key
+// (i in [0, NumFixedTestKeys)). FOR TESTS AND DEMOS ONLY.
+func FixedTestKey(i int) *PrivateKey {
+	if i < 0 || i >= NumFixedTestKeys {
+		panic(fmt.Sprintf("paillier: fixed test key index %d out of range", i))
+	}
+	fixedKeyMu.Lock()
+	defer fixedKeyMu.Unlock()
+	if k, ok := fixedKeyCache[i]; ok {
+		return k
+	}
+	p := mustHex(fixedSafePrimes256[2*i])
+	q := mustHex(fixedSafePrimes256[2*i+1])
+	k, err := NewKeyFromSafePrimes(p, q)
+	if err != nil {
+		panic(fmt.Sprintf("paillier: fixed test key %d: %v", i, err))
+	}
+	fixedKeyCache[i] = k
+	return k
+}
+
+// FixedTestKey768 returns the i-th deterministic 768-bit safe-prime key
+// (i in {0, 1}). FOR TESTS AND DEMOS ONLY.
+func FixedTestKey768(i int) *PrivateKey {
+	if i < 0 || i >= 2 {
+		panic(fmt.Sprintf("paillier: fixed 768-bit test key index %d out of range", i))
+	}
+	fixedKeyMu.Lock()
+	defer fixedKeyMu.Unlock()
+	idx := 100 + i
+	if k, ok := fixedKeyCache[idx]; ok {
+		return k
+	}
+	p := mustHex(fixedSafePrimes384[2*i])
+	q := mustHex(fixedSafePrimes384[2*i+1])
+	k, err := NewKeyFromSafePrimes(p, q)
+	if err != nil {
+		panic(fmt.Sprintf("paillier: fixed 768-bit test key %d: %v", i, err))
+	}
+	fixedKeyCache[idx] = k
+	return k
+}
+
+func mustHex(s string) *big.Int {
+	v, ok := new(big.Int).SetString(s, 16)
+	if !ok {
+		panic("paillier: bad embedded prime constant")
+	}
+	return v
+}

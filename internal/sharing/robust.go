@@ -1,0 +1,204 @@
+package sharing
+
+import (
+	"errors"
+	"fmt"
+
+	"yosompc/internal/field"
+	"yosompc/internal/poly"
+)
+
+// Robust reconstruction via Berlekamp–Welch decoding: recover a degree-d
+// sharing from shares of which up to e are adversarially WRONG, without
+// knowing which — Reed–Solomon error correction over the share points.
+// This is the information-theoretic route to guaranteed output delivery
+// (the paper's conclusion asks about the IT setting; the computational
+// protocol instead filters shares by NIZK verification). It needs
+//
+//	len(shares) ≥ d + 2e + 1,
+//
+// so with packed degree d = t+2(k−1) and e = t wrong shares the committee
+// must satisfy n ≥ 3t + 2(k−1) + 1 — a strictly smaller packing budget
+// than the proof-based route, which is exactly the trade-off the
+// benchmarks quantify.
+
+// ErrDecodingFailed is returned when no degree-d polynomial is consistent
+// with the shares under the error budget.
+var ErrDecodingFailed = errors.New("sharing: Berlekamp-Welch decoding failed")
+
+// ReconstructRobust recovers the k packed secrets from shares of a
+// degree-d sharing, tolerating up to maxErrors corrupted share values.
+func ReconstructRobust(shares []Share, d, k, maxErrors int) ([]field.Element, error) {
+	if maxErrors < 0 {
+		return nil, fmt.Errorf("sharing: negative error budget %d", maxErrors)
+	}
+	if maxErrors == 0 {
+		return ReconstructPacked(shares, d, k)
+	}
+	need := d + 2*maxErrors + 1
+	if len(shares) < need {
+		return nil, fmt.Errorf("%w: have %d shares, need %d for degree %d with %d errors",
+			ErrNotEnoughShares, len(shares), need, d, maxErrors)
+	}
+	f, err := berlekampWelch(shares[:need], d, maxErrors)
+	if err != nil {
+		return nil, err
+	}
+	// Consistency check: the decoded polynomial must match all but at
+	// most maxErrors of ALL provided shares.
+	wrong := 0
+	for _, s := range shares {
+		if f.Eval(ShareIndexPoint(s.Index)) != s.Value {
+			wrong++
+		}
+	}
+	if wrong > maxErrors {
+		return nil, fmt.Errorf("%w: decoded polynomial conflicts with %d shares", ErrDecodingFailed, wrong)
+	}
+	secrets := make([]field.Element, k)
+	for j := 0; j < k; j++ {
+		secrets[j] = f.Eval(SlotPoint(j))
+	}
+	return secrets, nil
+}
+
+// berlekampWelch finds the unique degree ≤ d polynomial agreeing with all
+// but ≤ e of the given points. It solves for E(x) (monic, degree e) and
+// Q(x) (degree ≤ d+e) with Q(x_i) = y_i·E(x_i) for all i, then f = Q/E.
+func berlekampWelch(shares []Share, d, e int) (poly.Polynomial, error) {
+	n := len(shares)
+	// Unknowns: e coefficients of E (E monic: E = x^e + Σ e_j x^j) and
+	// d+e+1 coefficients of Q — total d+2e+1 = n unknowns, n equations.
+	cols := d + 2*e + 1
+	if n != cols {
+		return poly.Polynomial{}, fmt.Errorf("sharing: BW needs exactly %d shares, got %d", cols, n)
+	}
+	// Row i: Σ_j e_j·(y_i·x_i^j) − Σ_l q_l·x_i^l = −y_i·x_i^e.
+	m := make([][]field.Element, n)
+	rhs := make([]field.Element, n)
+	for i, s := range shares {
+		x := ShareIndexPoint(s.Index)
+		y := s.Value
+		row := make([]field.Element, cols)
+		xp := field.One
+		for j := 0; j < e; j++ { // E coefficients (unknowns 0..e-1)
+			row[j] = y.Mul(xp)
+			xp = xp.Mul(x)
+		}
+		// xp = x^e now.
+		rhs[i] = y.Mul(xp).Neg()
+		xq := field.One
+		for l := 0; l <= d+e; l++ { // Q coefficients (unknowns e..e+d+e)
+			row[e+l] = xq.Neg()
+			xq = xq.Mul(x)
+		}
+		m[i] = row
+	}
+	sol, err := solveLinearSystem(m, rhs)
+	if err != nil {
+		return poly.Polynomial{}, fmt.Errorf("%w: %v", ErrDecodingFailed, err)
+	}
+	eCoeffs := append([]field.Element{}, sol[:e]...)
+	eCoeffs = append(eCoeffs, field.One) // monic x^e
+	ePoly := poly.New(eCoeffs)
+	qPoly := poly.New(sol[e:])
+	f, rem, err := polyDivide(qPoly, ePoly)
+	if err != nil {
+		return poly.Polynomial{}, err
+	}
+	if !rem.IsZero() {
+		return poly.Polynomial{}, fmt.Errorf("%w: E does not divide Q", ErrDecodingFailed)
+	}
+	if f.Degree() > d {
+		return poly.Polynomial{}, fmt.Errorf("%w: quotient degree %d > %d", ErrDecodingFailed, f.Degree(), d)
+	}
+	return f, nil
+}
+
+// solveLinearSystem solves m·x = rhs by Gaussian elimination with partial
+// pivoting over F_p. Under-determined systems pick the all-zero value for
+// free variables (valid for BW: any solution yields the same f = Q/E).
+func solveLinearSystem(m [][]field.Element, rhs []field.Element) ([]field.Element, error) {
+	n := len(m)
+	if n == 0 {
+		return nil, nil
+	}
+	cols := len(m[0])
+	row := 0
+	pivotCol := make([]int, 0, cols)
+	for col := 0; col < cols && row < n; col++ {
+		// Find a pivot.
+		pivot := -1
+		for r := row; r < n; r++ {
+			if !m[r][col].IsZero() {
+				pivot = r
+				break
+			}
+		}
+		if pivot == -1 {
+			continue
+		}
+		m[row], m[pivot] = m[pivot], m[row]
+		rhs[row], rhs[pivot] = rhs[pivot], rhs[row]
+		inv := m[row][col].MustInv()
+		for c := col; c < cols; c++ {
+			m[row][c] = m[row][c].Mul(inv)
+		}
+		rhs[row] = rhs[row].Mul(inv)
+		for r := 0; r < n; r++ {
+			if r == row || m[r][col].IsZero() {
+				continue
+			}
+			factor := m[r][col]
+			for c := col; c < cols; c++ {
+				m[r][c] = m[r][c].Sub(factor.Mul(m[row][c]))
+			}
+			rhs[r] = rhs[r].Sub(factor.Mul(rhs[row]))
+		}
+		pivotCol = append(pivotCol, col)
+		row++
+	}
+	// Check consistency of the remaining rows.
+	for r := row; r < n; r++ {
+		if !rhs[r].IsZero() {
+			return nil, errors.New("inconsistent system")
+		}
+	}
+	out := make([]field.Element, cols)
+	for r, col := range pivotCol {
+		out[col] = rhs[r]
+	}
+	return out, nil
+}
+
+// polyDivide returns (q, r) with a = q·b + r, deg r < deg b.
+func polyDivide(a, b poly.Polynomial) (q, r poly.Polynomial, err error) {
+	if b.IsZero() {
+		return poly.Polynomial{}, poly.Polynomial{}, errors.New("sharing: division by zero polynomial")
+	}
+	rc := a.Coefficients()
+	bc := b.Coefficients()
+	db := len(bc) - 1
+	lcInv := bc[db].MustInv()
+	var qc []field.Element
+	for len(rc) >= len(bc) {
+		shift := len(rc) - len(bc)
+		factor := rc[len(rc)-1].Mul(lcInv)
+		if len(qc) < shift+1 {
+			grown := make([]field.Element, shift+1)
+			copy(grown, qc)
+			qc = grown
+		}
+		qc[shift] = qc[shift].Add(factor)
+		for i := 0; i <= db; i++ {
+			rc[shift+i] = rc[shift+i].Sub(factor.Mul(bc[i]))
+		}
+		// Trim the (now zero) leading term and any new zero leaders.
+		end := len(rc) - 1
+		for end >= 0 && rc[end].IsZero() {
+			end--
+		}
+		rc = rc[:end+1]
+	}
+	return poly.New(qc), poly.New(rc), nil
+}

@@ -1,0 +1,276 @@
+// Package sharing implements Shamir secret sharing and its packed
+// generalization (Franklin–Yung), the core algebraic tool of the paper.
+//
+// Conventions, following the paper's Section 3.2:
+//
+//   - Party i's share is the evaluation at x = i, for i in 1..n.
+//   - Packed secrets occupy the "slot" points x = 0, -1, ..., -(k-1);
+//     i.e. secret j (0-based) lives at x = -j (mod p).
+//   - A degree-d packed sharing of k secrets needs d+1 shares to
+//     reconstruct, and any d-k+1 shares are independent of the secrets.
+//
+// Standard Shamir is the k = 1 case with the single secret at x = 0.
+package sharing
+
+import (
+	"errors"
+	"fmt"
+
+	"yosompc/internal/field"
+	"yosompc/internal/poly"
+)
+
+// Share is one party's share of a (possibly packed) sharing: the evaluation
+// of the sharing polynomial at X = Index.
+type Share struct {
+	// Index is the party index in 1..n (the evaluation point).
+	Index int
+	// Value is the polynomial evaluation at Index.
+	Value field.Element
+}
+
+// ErrNotEnoughShares is returned when fewer shares than degree+1 are given.
+var ErrNotEnoughShares = errors.New("sharing: not enough shares to reconstruct")
+
+// ErrInconsistentShares is returned when the provided shares do not lie on a
+// polynomial of the claimed degree. Detecting this matters for GOD: shares
+// from roles whose proofs did not verify are excluded before reconstruction.
+var ErrInconsistentShares = errors.New("sharing: shares are inconsistent with claimed degree")
+
+// SlotPoint returns the evaluation point storing packed secret j (0-based):
+// x = -j mod p.
+func SlotPoint(j int) field.Element {
+	return field.NewInt64(int64(-j))
+}
+
+// SlotPoints returns the k slot points 0, -1, ..., -(k-1).
+func SlotPoints(k int) []field.Element {
+	out := make([]field.Element, k)
+	for j := range out {
+		out[j] = SlotPoint(j)
+	}
+	return out
+}
+
+// ShareIndexPoint returns the evaluation point of party index i (1-based).
+func ShareIndexPoint(i int) field.Element {
+	return field.New(uint64(i))
+}
+
+// ShareIndexPoints returns the points for parties 1..n.
+func ShareIndexPoints(n int) []field.Element {
+	out := make([]field.Element, n)
+	for i := range out {
+		out[i] = ShareIndexPoint(i + 1)
+	}
+	return out
+}
+
+// MaxPackingCapacity returns the largest number of secrets a degree-d sharing
+// can pack while keeping the share points 1..n distinct from the slot points.
+// Slot points are 0, -1, ... which never collide with 1..n in F_p for the
+// committee sizes this library supports, so the only bound is d+1.
+func MaxPackingCapacity(d int) int { return d + 1 }
+
+// Validate checks structural parameters shared by Share and Reconstruct.
+func validateParams(n, d, k int) error {
+	switch {
+	case k < 1:
+		return fmt.Errorf("sharing: packing factor k=%d < 1", k)
+	case d < k-1:
+		return fmt.Errorf("sharing: degree d=%d < k-1=%d cannot determine %d secrets", d, k-1, k)
+	case d > n-1:
+		return fmt.Errorf("sharing: degree d=%d > n-1=%d cannot be reconstructed by n parties", d, n-1)
+	case n < 1:
+		return fmt.Errorf("sharing: n=%d < 1", n)
+	}
+	return nil
+}
+
+// SharePacked produces a degree-d packed Shamir sharing of the k secrets for
+// parties 1..n. The sharing polynomial passes through the secrets at the slot
+// points and is uniformly random subject to that constraint (d-k+1 free
+// coefficients are sampled uniformly by interpolating through d-k+1 extra
+// random points).
+func SharePacked(secrets []field.Element, d, n int) ([]Share, error) {
+	k := len(secrets)
+	if err := validateParams(n, d, k); err != nil {
+		return nil, err
+	}
+	f, err := randomPolynomialThrough(secrets, d)
+	if err != nil {
+		return nil, err
+	}
+	shares := make([]Share, n)
+	for i := 0; i < n; i++ {
+		shares[i] = Share{Index: i + 1, Value: f.Eval(ShareIndexPoint(i + 1))}
+	}
+	return shares, nil
+}
+
+// ShareStandard produces a degree-d standard Shamir sharing of one secret
+// (stored at x = 0) for parties 1..n.
+func ShareStandard(secret field.Element, d, n int) ([]Share, error) {
+	return SharePacked([]field.Element{secret}, d, n)
+}
+
+// randomPolynomialThrough returns a uniformly random polynomial of degree ≤ d
+// passing through (SlotPoint(j), secrets[j]) for each j.
+func randomPolynomialThrough(secrets []field.Element, d int) (poly.Polynomial, error) {
+	k := len(secrets)
+	// Fix the polynomial by its values at d+1 points: the k slot points carry
+	// the secrets and d+1-k auxiliary points carry fresh randomness. The
+	// auxiliary points x = 1, 2, ... are disjoint from the slot points.
+	xs := SlotPoints(k)
+	ys := field.CloneVec(secrets)
+	extra := d + 1 - k
+	rnd, err := field.RandomVec(extra)
+	if err != nil {
+		return poly.Polynomial{}, err
+	}
+	for i := 0; i < extra; i++ {
+		xs = append(xs, field.New(uint64(i+1)))
+		ys = append(ys, rnd[i])
+	}
+	return poly.Interpolate(xs, ys)
+}
+
+// ReconstructPacked recovers the k packed secrets from at least d+1 shares of
+// a degree-d sharing. If more than d+1 shares are provided, the extras are
+// used as a consistency check and ErrInconsistentShares is returned when any
+// share deviates from the interpolated polynomial.
+func ReconstructPacked(shares []Share, d, k int) ([]field.Element, error) {
+	if len(shares) < d+1 {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrNotEnoughShares, len(shares), d+1)
+	}
+	xs := make([]field.Element, d+1)
+	ys := make([]field.Element, d+1)
+	for i := 0; i < d+1; i++ {
+		xs[i] = ShareIndexPoint(shares[i].Index)
+		ys[i] = shares[i].Value
+	}
+	f, err := poly.Interpolate(xs, ys)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range shares[d+1:] {
+		if f.Eval(ShareIndexPoint(s.Index)) != s.Value {
+			return nil, fmt.Errorf("%w: share %d deviates", ErrInconsistentShares, s.Index)
+		}
+	}
+	secrets := make([]field.Element, k)
+	for j := 0; j < k; j++ {
+		secrets[j] = f.Eval(SlotPoint(j))
+	}
+	return secrets, nil
+}
+
+// ReconstructStandard recovers a single secret from a degree-d sharing.
+func ReconstructStandard(shares []Share, d int) (field.Element, error) {
+	secrets, err := ReconstructPacked(shares, d, 1)
+	if err != nil {
+		return field.Zero, err
+	}
+	return secrets[0], nil
+}
+
+// ConstantPacked returns the degree-(k-1) packed sharing of a public vector c:
+// the unique polynomial of degree k-1 through the slots. Every party can
+// compute its own share locally — this is the multiplication-friendliness
+// trick from the paper's Section 3.2 (Step 1 of public-vector multiplication).
+func ConstantPacked(c []field.Element, n int) ([]Share, error) {
+	k := len(c)
+	if k == 0 {
+		return nil, errors.New("sharing: empty public vector")
+	}
+	f, err := poly.Interpolate(SlotPoints(k), c)
+	if err != nil {
+		return nil, err
+	}
+	shares := make([]Share, n)
+	for i := 0; i < n; i++ {
+		shares[i] = Share{Index: i + 1, Value: f.Eval(ShareIndexPoint(i + 1))}
+	}
+	return shares, nil
+}
+
+// ConstantPackedShare returns only party `index`'s share of the degree-(k-1)
+// packed sharing of the public vector c.
+func ConstantPackedShare(c []field.Element, index int) (Share, error) {
+	k := len(c)
+	if k == 0 {
+		return Share{}, errors.New("sharing: empty public vector")
+	}
+	v, err := poly.EvalAt(SlotPoints(k), c, ShareIndexPoint(index))
+	if err != nil {
+		return Share{}, err
+	}
+	return Share{Index: index, Value: v}, nil
+}
+
+// AddShares returns the share-wise sum of two sharings held by the same
+// party set — the linear homomorphism [[x+y]]_d = [[x]]_d + [[y]]_d.
+func AddShares(a, b []Share) ([]Share, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("sharing: add: %d vs %d shares", len(a), len(b))
+	}
+	out := make([]Share, len(a))
+	for i := range a {
+		if a[i].Index != b[i].Index {
+			return nil, fmt.Errorf("sharing: add: index mismatch at %d: %d vs %d", i, a[i].Index, b[i].Index)
+		}
+		out[i] = Share{Index: a[i].Index, Value: a[i].Value.Add(b[i].Value)}
+	}
+	return out, nil
+}
+
+// MulShares returns the share-wise product — the degree-additive
+// multiplication [[x*y]]_{d1+d2} = [[x]]_{d1} * [[y]]_{d2}.
+func MulShares(a, b []Share) ([]Share, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("sharing: mul: %d vs %d shares", len(a), len(b))
+	}
+	out := make([]Share, len(a))
+	for i := range a {
+		if a[i].Index != b[i].Index {
+			return nil, fmt.Errorf("sharing: mul: index mismatch at %d: %d vs %d", i, a[i].Index, b[i].Index)
+		}
+		out[i] = Share{Index: a[i].Index, Value: a[i].Value.Mul(b[i].Value)}
+	}
+	return out, nil
+}
+
+// PackingLagrangeCoeffs returns, for each target share index i in 1..n, the
+// coefficient vector applied to the points
+//
+//	(slot_1..slot_k carrying the secrets, x=1..t carrying random padding)
+//
+// to obtain the packed share f(i) — exactly the l_j(i) vectors used in the
+// homomorphic packing of offline Step 4. The returned matrix has n rows of
+// t+k coefficients.
+func PackingLagrangeCoeffs(k, t, n int) ([][]field.Element, error) {
+	if k < 1 || t < 0 {
+		return nil, fmt.Errorf("sharing: packing coeffs: invalid k=%d t=%d", k, t)
+	}
+	xs := SlotPoints(k)
+	for i := 1; i <= t; i++ {
+		xs = append(xs, field.New(uint64(i)))
+	}
+	rows := make([][]field.Element, n)
+	for i := 1; i <= n; i++ {
+		coeffs, err := poly.LagrangeCoeffs(xs, ShareIndexPoint(i))
+		if err != nil {
+			return nil, err
+		}
+		rows[i-1] = coeffs
+	}
+	return rows, nil
+}
+
+// ReconstructAtSlots interpolates the sharing polynomial from the given
+// shares (claimed degree d) and returns its evaluations at the k slot points.
+// Unlike ReconstructPacked it accepts shares at arbitrary distinct indices
+// and does not require them sorted.
+func ReconstructAtSlots(shares []Share, d, k int) ([]field.Element, error) {
+	return ReconstructPacked(shares, d, k)
+}

@@ -1,0 +1,138 @@
+package sortition
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Monte Carlo validation of the Section 6 tail bounds. Cryptographic
+// sortition includes each of the N parties independently with probability
+// C/N; with f·N corrupt parties, the number of corrupt (resp. honest)
+// committee members is Binomial(fN, C/N) ≈ Poisson(fC) (resp.
+// Poisson((1−f)C)) in the YOSO regime C ≪ N. The analysis guarantees,
+// except with probability 2^−128, that the sampled committee has fewer
+// than t corruptions and size at least c = t/(1/2−ε); simulation cannot
+// observe 2^−128 events, but it can confirm that typical committees sit
+// far inside the bounds — which is exactly the safety margin the analysis
+// buys.
+
+// TrialStats summarizes a Monte Carlo run.
+type TrialStats struct {
+	// Trials is the number of sampled committees.
+	Trials int
+	// ViolationsT counts committees with ≥ t corruptions.
+	ViolationsT int
+	// ViolationsGap counts committees whose honest count fell below
+	// δ·t with δ = (1/2+ε)/(1/2−ε) — the guarantee Eq. (6) bounds.
+	ViolationsGap int
+	// ViolationsRecon counts committees whose honest count fell below
+	// the protocol's reconstruction threshold t + 2(k−1) + 1.
+	ViolationsRecon int
+	// MaxCorrupt is the largest observed corruption count.
+	MaxCorrupt int
+	// MeanCorrupt and MeanSize are sample means.
+	MeanCorrupt, MeanSize float64
+	// MinSize is the smallest observed committee.
+	MinSize int
+	// MarginT = t / MaxCorrupt: how far the worst observed committee sat
+	// below the threshold (> 1 means never close).
+	MarginT float64
+}
+
+// Simulate samples `trials` committees for the analysis row r and checks
+// the two guarantees. The generator is seeded for reproducibility.
+func (r Result) Simulate(trials int, seed int64) TrialStats {
+	rng := rand.New(rand.NewSource(seed))
+	corruptMean := r.F * float64(r.C)
+	honestMean := (1 - r.F) * float64(r.C)
+	delta := (0.5 + r.Eps) / (0.5 - r.Eps)
+	reconThreshold := r.T + 2*(r.K-1) + 1
+	st := TrialStats{Trials: trials, MinSize: math.MaxInt}
+	var sumCorrupt, sumSize float64
+	for i := 0; i < trials; i++ {
+		corrupt := poisson(rng, corruptMean)
+		honest := poisson(rng, honestMean)
+		size := corrupt + honest
+		sumCorrupt += float64(corrupt)
+		sumSize += float64(size)
+		if corrupt > st.MaxCorrupt {
+			st.MaxCorrupt = corrupt
+		}
+		if size < st.MinSize {
+			st.MinSize = size
+		}
+		if corrupt >= r.T {
+			st.ViolationsT++
+		}
+		if float64(honest) < delta*float64(r.T) {
+			st.ViolationsGap++
+		}
+		if honest < reconThreshold {
+			st.ViolationsRecon++
+		}
+	}
+	st.MeanCorrupt = sumCorrupt / float64(trials)
+	st.MeanSize = sumSize / float64(trials)
+	if st.MaxCorrupt > 0 {
+		st.MarginT = float64(r.T) / float64(st.MaxCorrupt)
+	}
+	return st
+}
+
+// String renders the stats.
+func (s TrialStats) String() string {
+	return fmt.Sprintf("trials=%d violations(t)=%d violations(gap)=%d violations(recon)=%d maxCorrupt=%d meanCorrupt=%.1f meanSize=%.1f minSize=%d margin=%.2f",
+		s.Trials, s.ViolationsT, s.ViolationsGap, s.ViolationsRecon, s.MaxCorrupt, s.MeanCorrupt, s.MeanSize, s.MinSize, s.MarginT)
+}
+
+// poisson samples Poisson(mean) — Knuth's product method for small means,
+// and the PTRS transformed-rejection sampler (Hörmann 1993) for large
+// ones, which stays O(1) for the committee-scale means (up to ~40 000)
+// this package needs.
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean < 30 {
+		return poissonKnuth(rng, mean)
+	}
+	return poissonPTRS(rng, mean)
+}
+
+func poissonKnuth(rng *rand.Rand, mean float64) int {
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// poissonPTRS implements Hörmann's PTRS algorithm.
+func poissonPTRS(rng *rand.Rand, mu float64) int {
+	b := 0.931 + 2.53*math.Sqrt(mu)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	for {
+		u := rng.Float64() - 0.5
+		v := rng.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + mu + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int(k)
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		lg, _ := math.Lgamma(k + 1)
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= k*math.Log(mu)-mu-lg {
+			return int(k)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package sortition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPoissonMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, mean := range []float64{0.5, 5, 25, 50, 500, 10000} {
+		const trials = 20000
+		var sum, sumSq float64
+		for i := 0; i < trials; i++ {
+			v := float64(poisson(rng, mean))
+			sum += v
+			sumSq += v * v
+		}
+		m := sum / trials
+		variance := sumSq/trials - m*m
+		// Poisson: mean == variance. Sample error ~ mean/sqrt(trials).
+		tol := 5 * math.Sqrt(mean/trials) * math.Max(1, math.Sqrt(mean))
+		if math.Abs(m-mean) > tol+0.05*mean {
+			t.Errorf("mean %v: sample mean %.2f", mean, m)
+		}
+		if math.Abs(variance-mean) > 0.15*mean+1 {
+			t.Errorf("mean %v: sample variance %.2f", mean, variance)
+		}
+	}
+}
+
+func TestPoissonEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if poisson(rng, 0) != 0 {
+		t.Error("Poisson(0) != 0")
+	}
+	if poisson(rng, -5) != 0 {
+		t.Error("Poisson(negative) != 0")
+	}
+}
+
+func TestSimulateNoViolations(t *testing.T) {
+	// The bounds hold except with probability 2^-128, so 10k trials must
+	// show zero violations, and the worst observed committee must sit
+	// well inside the margins.
+	rows := []struct {
+		c int
+		f float64
+	}{
+		{1000, 0.05},
+		{5000, 0.10},
+		{20000, 0.20},
+	}
+	for _, row := range rows {
+		res, err := Analyze(row.c, row.f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := res.Simulate(10000, 42)
+		if st.ViolationsT != 0 {
+			t.Errorf("C=%d f=%.2f: %d corruption-threshold violations", row.c, row.f, st.ViolationsT)
+		}
+		if st.ViolationsGap != 0 {
+			t.Errorf("C=%d f=%.2f: %d gap violations", row.c, row.f, st.ViolationsGap)
+		}
+		if st.ViolationsRecon != 0 {
+			t.Errorf("C=%d f=%.2f: %d reconstruction violations", row.c, row.f, st.ViolationsRecon)
+		}
+		if st.MarginT < 1.05 {
+			t.Errorf("C=%d f=%.2f: margin %.3f too tight (max corrupt %d vs t=%d)",
+				row.c, row.f, st.MarginT, st.MaxCorrupt, res.T)
+		}
+		// Sample means must match the sortition expectations.
+		if math.Abs(st.MeanCorrupt-row.f*float64(row.c)) > 0.05*row.f*float64(row.c) {
+			t.Errorf("C=%d f=%.2f: mean corrupt %.1f, expected %.1f",
+				row.c, row.f, st.MeanCorrupt, row.f*float64(row.c))
+		}
+		if math.Abs(st.MeanSize-float64(row.c)) > 0.02*float64(row.c) {
+			t.Errorf("C=%d: mean size %.1f, expected %d", row.c, st.MeanSize, row.c)
+		}
+	}
+}
+
+func TestSimulateReproducible(t *testing.T) {
+	res, err := Analyze(5000, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Simulate(1000, 9)
+	b := res.Simulate(1000, 9)
+	if a != b {
+		t.Error("same seed produced different stats")
+	}
+	c := res.Simulate(1000, 10)
+	if a == c {
+		t.Error("different seeds produced identical stats")
+	}
+}
+
+func TestTrialStatsString(t *testing.T) {
+	res, err := Analyze(1000, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := res.Simulate(100, 1).String(); len(s) == 0 {
+		t.Error("empty stats string")
+	}
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	res, err := Analyze(20000, 0.20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res.Simulate(1000, int64(i))
+	}
+}

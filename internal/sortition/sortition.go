@@ -1,0 +1,214 @@
+// Package sortition implements the paper's Section 6: the generalization of
+// Benhamouda et al.'s cryptographic-sortition analysis to committees with a
+// corruption *gap*, t < c·(1/2 − ε).
+//
+// Given the sortition parameter C (the expected committee size: each of the
+// N parties self-selects with probability C/N) and the global corruption
+// ratio f, the analysis computes:
+//
+//   - ε₁, ε₂ — the smallest slack values satisfying Eq. (2), so that the
+//     number of corruptions φ in the sampled committee is below
+//     t = fC(1+ε₁) + f(1−f)C(1+ε₂) + 1 except with probability 2^(−k₂);
+//   - ε₃ — the smallest slack satisfying the left side of Eq. (6);
+//   - δ = (1/2+ε)/(1/2−ε) — the largest gap multiplier the right side of
+//     Eq. (6) allows, hence the gap ε itself;
+//   - c = t/(1/2−ε) — the high-probability lower bound on committee size;
+//   - c′ = 2t+1 — the bound the ε = 0 analysis of [6] yields;
+//   - k = ⌊c·ε⌋ — the packing factor, the paper's online improvement.
+//
+// Security parameters follow the paper: k₁ = 64 (sortition grinding
+// attempts), k₂ = k₃ = 128.
+package sortition
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Security parameters fixed by the paper (Section 6).
+const (
+	K1 = 64
+	K2 = 128
+	K3 = 128
+)
+
+// ErrInfeasible marks (C, f) combinations where no positive gap exists —
+// the ⊥ entries of Table 1.
+var ErrInfeasible = errors.New("sortition: no positive gap achievable for these parameters")
+
+// Result is one row of the analysis.
+type Result struct {
+	// C is the sortition parameter (expected committee size).
+	C int
+	// F is the global corruption ratio.
+	F float64
+	// T is the corruption threshold: φ < T w.h.p. (the paper's t).
+	T int
+	// Committee is the high-probability lower bound c on committee size.
+	Committee int
+	// NoGap is c′ = 2t+1, the committee bound of the ε = 0 analysis.
+	NoGap int
+	// Eps is the achieved gap ε with t ≤ c(1/2 − ε).
+	Eps float64
+	// K is the packing factor ⌊c·ε⌋.
+	K int
+	// Eps1, Eps2, Eps3 are the internal slack parameters.
+	Eps1, Eps2, Eps3 float64
+}
+
+// String renders the row in Table 1's column order.
+func (r Result) String() string {
+	return fmt.Sprintf("C=%d f=%.2f t=%d c=%d c'=%d eps=%.4f k=%d",
+		r.C, r.F, r.T, r.Committee, r.NoGap, r.Eps, r.K)
+}
+
+// Analyze runs the Section 6 analysis for one (C, f) pair.
+func Analyze(c int, f float64) (Result, error) {
+	if c < 1 {
+		return Result{}, fmt.Errorf("sortition: C = %d must be positive", c)
+	}
+	if f <= 0 || f >= 1 {
+		return Result{}, fmt.Errorf("sortition: f = %v must be in (0, 1)", f)
+	}
+	ln2 := math.Ln2
+	cf := float64(c) * f
+	cf1f := float64(c) * f * (1 - f)
+
+	// Eq. (4): smallest ε₁ with C ≥ (k₁+k₂+1)(2+ε₁)·ln2 / (f·ε₁²).
+	a1 := float64(K1 + K2 + 1) // 193
+	eps1 := 0.5*math.Sqrt((8*a1*cf*ln2+a1*a1*ln2*ln2)/(cf*cf)) + a1*ln2/(2*cf)
+	// The closed form above is the positive root of cf·ε² − a₁ln2·ε − 2a₁ln2 = 0,
+	// matching the paper's Eq. (4): 8·193 = 1544 and 193² = 37249.
+
+	// Eq. (5): smallest ε₂ with C ≥ (k₂+1)(2+ε₂)·ln2 / (f(1−f)·ε₂²).
+	a2 := float64(K2 + 1) // 129; Eq. (5): 8·129 = 1032 and 129² = 16641.
+	eps2 := 0.5*math.Sqrt((8*a2*cf1f*ln2+a2*a2*ln2*ln2)/(cf1f*cf1f)) + a2*ln2/(2*cf1f)
+
+	b1 := cf * (1 + eps1)
+	b2 := cf1f * (1 + eps2)
+	tReal := b1 + b2 + 1
+
+	// Eq. (6) left: smallest ε₃.
+	eps3 := math.Sqrt(2 * float64(K3) * ln2 / (float64(c) * (1 - f) * (1 - f)))
+	if eps3 >= 1 {
+		return Result{}, fmt.Errorf("%w: C=%d f=%v (ε₃ ≥ 1)", ErrInfeasible, c, f)
+	}
+
+	// Eq. (6) right: largest δ = (1/2+ε)/(1/2−ε).
+	delta := (1 - eps3) * (1 - f) * (1 - f) * float64(c) / (b1 + b2)
+	if delta <= 1 {
+		return Result{}, fmt.Errorf("%w: C=%d f=%v (δ = %.4f ≤ 1)", ErrInfeasible, c, f, delta)
+	}
+	eps := (delta - 1) / (2 * (delta + 1))
+
+	t := int(math.Floor(tReal))
+	committee := int(math.Round(float64(t) / (0.5 - eps)))
+	return Result{
+		C:         c,
+		F:         f,
+		T:         t,
+		Committee: committee,
+		NoGap:     2*t + 1,
+		Eps:       eps,
+		K:         int(math.Floor(float64(committee) * eps)),
+		Eps1:      eps1,
+		Eps2:      eps2,
+		Eps3:      eps3,
+	}, nil
+}
+
+// Table1CValues and Table1FValues are the grids of the paper's Table 1.
+var (
+	Table1CValues = []int{1000, 5000, 10000, 20000, 40000}
+	Table1FValues = []float64{0.05, 0.10, 0.15, 0.20, 0.25}
+)
+
+// Row is one Table 1 entry: a Result or an infeasibility marker.
+type Row struct {
+	C        int
+	F        float64
+	Feasible bool
+	Result   Result
+}
+
+// Table1 regenerates every row of the paper's Table 1.
+func Table1() []Row {
+	var rows []Row
+	for _, c := range Table1CValues {
+		for _, f := range Table1FValues {
+			res, err := Analyze(c, f)
+			if err != nil {
+				rows = append(rows, Row{C: c, F: f})
+				continue
+			}
+			rows = append(rows, Row{C: c, F: f, Feasible: true, Result: res})
+		}
+	}
+	return rows
+}
+
+// FormatTable renders rows in the paper's layout.
+func FormatTable(rows []Row) string {
+	out := fmt.Sprintf("%-7s %-5s %-7s %-7s %-7s %-7s %-7s\n", "C", "f", "t", "c", "c'", "eps", "k")
+	for _, r := range rows {
+		if !r.Feasible {
+			out += fmt.Sprintf("%-7d %-5.2f %-7s %-7s %-7s %-7s %-7s\n", r.C, r.F, "⊥", "⊥", "⊥", "⊥", "⊥")
+			continue
+		}
+		res := r.Result
+		out += fmt.Sprintf("%-7d %-5.2f %-7d %-7d %-7d %-7.2f %-7d\n",
+			r.C, r.F, res.T, res.Committee, res.NoGap, res.Eps, res.K)
+	}
+	return out
+}
+
+// CommitteeFor derives MPC protocol parameters from a sortition result:
+// the committee size n, the corruption bound t, the gap ε, and the packing
+// factor k, optionally halved for fail-stop tolerance (paper §5.4).
+func (r Result) CommitteeFor(failStopTolerant bool) (n, t, k int, eps float64) {
+	n = r.Committee
+	t = r.T
+	eps = r.Eps
+	k = r.K
+	if failStopTolerant {
+		k = k / 2
+	}
+	if k < 1 {
+		k = 1
+	}
+	return n, t, k, eps
+}
+
+// MinimalC searches for the smallest sortition parameter C (to the given
+// granularity) whose analysis achieves gap at least targetEps at global
+// corruption ratio f — the inverse planning query: "I want ε = 0.1 at
+// f = 0.15; how large must committees be?". It returns ErrInfeasible when
+// even maxC cannot reach the target.
+func MinimalC(f, targetEps float64, maxC, granularity int) (Result, error) {
+	if granularity < 1 {
+		granularity = 100
+	}
+	if maxC < granularity {
+		return Result{}, fmt.Errorf("sortition: maxC %d below granularity %d", maxC, granularity)
+	}
+	// The achieved ε is monotone in C (more expected members ⇒ tighter
+	// concentration ⇒ bigger δ), so binary search applies.
+	achieves := func(c int) bool {
+		res, err := Analyze(c, f)
+		return err == nil && res.Eps >= targetEps
+	}
+	lo, hi := 1, maxC/granularity
+	if !achieves(hi * granularity) {
+		return Result{}, fmt.Errorf("%w: eps=%.3f at f=%.2f needs C > %d", ErrInfeasible, targetEps, f, maxC)
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if achieves(mid * granularity) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return Analyze(lo*granularity, f)
+}

@@ -1,0 +1,315 @@
+package sortition
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// paperTable1 is the paper's Table 1, transcribed verbatim. t/c/c'/k entries
+// of -1 mark ⊥ rows.
+var paperTable1 = []struct {
+	c         int
+	f         float64
+	t, cc, cp int
+	eps       float64
+	k         int
+}{
+	{1000, 0.05, 446, 949, 893, 0.03, 28},
+	{1000, 0.10, -1, -1, -1, 0, -1},
+	{1000, 0.15, -1, -1, -1, 0, -1},
+	{1000, 0.20, -1, -1, -1, 0, -1},
+	{1000, 0.25, -1, -1, -1, 0, -1},
+	{5000, 0.05, 1078, 4699, 2157, 0.27, 1271},
+	{5000, 0.10, 1721, 4925, 3444, 0.15, 741},
+	{5000, 0.15, 2293, 5106, 4588, 0.05, 259},
+	{5000, 0.20, -1, -1, -1, 0, -1},
+	{5000, 0.25, -1, -1, -1, 0, -1},
+	{10000, 0.05, 1754, 9518, 3509, 0.32, 3004},
+	{10000, 0.10, 2937, 9841, 5876, 0.20, 1982},
+	{10000, 0.15, 4004, 10098, 8009, 0.10, 1045},
+	{10000, 0.20, 4983, 10319, 9968, 0.02, 175},
+	{10000, 0.25, -1, -1, -1, 0, -1},
+	{20000, 0.05, 2998, 19264, 5998, 0.34, 6633},
+	{20000, 0.10, 5216, 19723, 10433, 0.24, 4645},
+	{20000, 0.15, 7237, 20088, 14476, 0.14, 2806},
+	{20000, 0.20, 9107, 20401, 18215, 0.05, 1093},
+	{20000, 0.25, -1, -1, -1, 0, -1},
+	{40000, 0.05, 5331, 38907, 10664, 0.36, 14121},
+	{40000, 0.10, 9552, 39558, 19106, 0.26, 10226},
+	{40000, 0.15, 13437, 40074, 26875, 0.16, 6600},
+	{40000, 0.20, 17047, 40517, 34096, 0.08, 3211},
+	{40000, 0.25, 20408, 40911, 40818, 0.01, 47},
+}
+
+// within reports |a−b| ≤ tol; Table 1 integers should match exactly but a
+// ±1 slack is allowed for rounding at the paper's print precision.
+func within(a, b, tol int) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+func TestTable1Reproduction(t *testing.T) {
+	for _, row := range paperTable1 {
+		res, err := Analyze(row.c, row.f)
+		if row.t == -1 {
+			if !errors.Is(err, ErrInfeasible) {
+				t.Errorf("C=%d f=%.2f: want ⊥, got %+v (err %v)", row.c, row.f, res, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("C=%d f=%.2f: unexpected error %v", row.c, row.f, err)
+			continue
+		}
+		if !within(res.T, row.t, 1) {
+			t.Errorf("C=%d f=%.2f: t = %d, paper %d", row.c, row.f, res.T, row.t)
+		}
+		if !within(res.Committee, row.cc, 8) {
+			t.Errorf("C=%d f=%.2f: c = %d, paper %d", row.c, row.f, res.Committee, row.cc)
+		}
+		if !within(res.NoGap, row.cp, 2) {
+			t.Errorf("C=%d f=%.2f: c' = %d, paper %d", row.c, row.f, res.NoGap, row.cp)
+		}
+		if math.Abs(res.Eps-row.eps) > 0.0105 {
+			t.Errorf("C=%d f=%.2f: eps = %.4f, paper %.2f", row.c, row.f, res.Eps, row.eps)
+		}
+		if !within(res.K, row.k, 3) {
+			t.Errorf("C=%d f=%.2f: k = %d, paper %d", row.c, row.f, res.K, row.k)
+		}
+	}
+}
+
+func TestGapInequalityHolds(t *testing.T) {
+	// The defining property: t ≤ c·(1/2 − ε).
+	for _, row := range paperTable1 {
+		if row.t == -1 {
+			continue
+		}
+		res, err := Analyze(row.c, row.f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(res.T) > float64(res.Committee)*(0.5-res.Eps)+1 {
+			t.Errorf("C=%d f=%.2f: t=%d > c(1/2−ε)=%.1f",
+				row.c, row.f, res.T, float64(res.Committee)*(0.5-res.Eps))
+		}
+	}
+}
+
+func TestReconstructionFeasible(t *testing.T) {
+	// GOD needs n − t ≥ t + 2(k−1) + 1 honest shares (paper §5.4):
+	// equivalently k − 1 ≤ n·ε, which the packing factor satisfies.
+	for _, row := range paperTable1 {
+		if row.t == -1 {
+			continue
+		}
+		res, err := Analyze(row.c, row.f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, tt, k, _ := res.CommitteeFor(false)
+		if n-tt < tt+2*(k-1)+1 {
+			t.Errorf("C=%d f=%.2f: honest %d < required %d for k=%d",
+				row.c, row.f, n-tt, tt+2*(k-1)+1, k)
+		}
+	}
+}
+
+func TestFailStopHalvesPacking(t *testing.T) {
+	res, err := Analyze(20000, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, kFull, _ := res.CommitteeFor(false)
+	n, tt, kHalf, eps := res.CommitteeFor(true)
+	if kHalf != kFull/2 {
+		t.Errorf("fail-stop k = %d, want %d", kHalf, kFull/2)
+	}
+	// §5.4: with k ≈ nε/2, reconstruction threshold t+2(k−1)+1 stays below
+	// n − t − nε (tolerating nε silent honest roles).
+	drop := int(float64(n) * eps)
+	if n-tt-drop < tt+2*(kHalf-1)+1 {
+		t.Errorf("fail-stop margin violated: honest-after-drop %d < %d",
+			n-tt-drop, tt+2*(kHalf-1)+1)
+	}
+}
+
+func TestCommitteeForClampsK(t *testing.T) {
+	r := Result{Committee: 10, T: 4, Eps: 0.01, K: 0}
+	if _, _, k, _ := r.CommitteeFor(false); k != 1 {
+		t.Errorf("k = %d, want clamped 1", k)
+	}
+	if _, _, k, _ := r.CommitteeFor(true); k != 1 {
+		t.Errorf("fail-stop k = %d, want clamped 1", k)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(0, 0.1); err == nil {
+		t.Error("accepted C=0")
+	}
+	if _, err := Analyze(1000, 0); err == nil {
+		t.Error("accepted f=0")
+	}
+	if _, err := Analyze(1000, 1); err == nil {
+		t.Error("accepted f=1")
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	// For fixed f, larger C gives a larger (or equal) packing factor.
+	prev := -1
+	for _, c := range Table1CValues {
+		res, err := Analyze(c, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.K <= prev {
+			t.Errorf("k not increasing with C: k(%d) = %d after %d", c, res.K, prev)
+		}
+		prev = res.K
+	}
+	// For fixed C, larger f gives a smaller gap.
+	prevEps := math.Inf(1)
+	for _, f := range []float64{0.05, 0.10, 0.15, 0.20} {
+		res, err := Analyze(20000, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Eps >= prevEps {
+			t.Errorf("eps not decreasing with f: eps(%v) = %v", f, res.Eps)
+		}
+		prevEps = res.Eps
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 25 {
+		t.Fatalf("Table1 has %d rows, want 25", len(rows))
+	}
+	feasible := 0
+	for _, r := range rows {
+		if r.Feasible {
+			feasible++
+		}
+	}
+	if feasible != 17 {
+		t.Errorf("Table1 has %d feasible rows, paper has 17", feasible)
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	s := FormatTable(Table1())
+	if !strings.Contains(s, "⊥") {
+		t.Error("formatted table missing ⊥ rows")
+	}
+	if !strings.Contains(s, "949") {
+		t.Error("formatted table missing first feasible row")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	res, err := Analyze(1000, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.String(), "t=446") {
+		t.Errorf("String() = %q", res.String())
+	}
+}
+
+// TestImprovementClaims verifies the paper's §1.1.2 headline numbers:
+// "for 5% global corruptions we can already get 28× improvement by moving
+// from committees of size 900 to 1000" (C=1000) and "for 20%, 1000× online
+// improvement by moving from ≈18k to ≈20k" (C=20000).
+func TestImprovementClaims(t *testing.T) {
+	r1, err := Analyze(1000, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.K != 28 {
+		t.Errorf("C=1000 f=0.05 improvement factor = %d, paper claims 28", r1.K)
+	}
+	r2, err := Analyze(20000, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.K < 1000 {
+		t.Errorf("C=20000 f=0.20 improvement factor = %d, paper claims >1000", r2.K)
+	}
+	if r2.NoGap < 18000 || r2.NoGap > 18500 {
+		t.Errorf("C=20000 f=0.20 no-gap committee = %d, paper says ≈18k", r2.NoGap)
+	}
+	if r2.Committee < 20000 || r2.Committee > 20500 {
+		t.Errorf("C=20000 f=0.20 gap committee = %d, paper says ≈20k", r2.Committee)
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(20000, 0.15); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Table1()
+	}
+}
+
+func TestMinimalC(t *testing.T) {
+	// Planning query: gap 0.10 at 15% corruption.
+	res, err := MinimalC(0.15, 0.10, 200000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Eps < 0.10 {
+		t.Errorf("achieved eps %.4f < target", res.Eps)
+	}
+	// Minimality: one granularity step below must miss the target.
+	if res.C > 100 {
+		below, err := Analyze(res.C-100, 0.15)
+		if err == nil && below.Eps >= 0.10 {
+			t.Errorf("C=%d also achieves the target; %d not minimal", res.C-100, res.C)
+		}
+	}
+	// Cross-check against Table 1: C=10000 at f=0.15 gives eps≈0.10, so
+	// the minimal C should be near 10000.
+	if res.C < 5000 || res.C > 15000 {
+		t.Errorf("minimal C = %d, expected near 10000", res.C)
+	}
+}
+
+func TestMinimalCInfeasible(t *testing.T) {
+	if _, err := MinimalC(0.25, 0.4, 50000, 1000); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+	if _, err := MinimalC(0.1, 0.1, 50, 100); err == nil {
+		t.Error("accepted maxC below granularity")
+	}
+}
+
+func TestEpsMonotoneInC(t *testing.T) {
+	// The binary-search precondition: ε non-decreasing in C at fixed f.
+	prev := -1.0
+	for _, c := range []int{2000, 4000, 8000, 16000, 32000, 64000} {
+		res, err := Analyze(c, 0.15)
+		if err != nil {
+			continue
+		}
+		if res.Eps < prev-1e-9 {
+			t.Errorf("eps decreased: %v at C=%d after %v", res.Eps, c, prev)
+		}
+		prev = res.Eps
+	}
+}

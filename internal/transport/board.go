@@ -1,0 +1,109 @@
+// Package transport provides the broadcast bulletin board of the YOSO
+// execution: an append-only sequence of postings, each attributed to a
+// role, a phase and a category, with every byte metered.
+//
+// In YOSO, point-to-point messages to future (anonymous) roles are posted
+// as encrypted envelopes on the same board — one-to-one costs the same as
+// one-to-all (paper §3.3). The board therefore carries both broadcast
+// values and addressed ciphertexts uniformly.
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"yosompc/internal/comm"
+)
+
+// Posting is one board entry.
+type Posting struct {
+	// Seq is the global sequence number, assigned by the board.
+	Seq int
+	// From identifies the posting role (free-form, e.g. "off1/3").
+	From string
+	// Phase and Category attribute the bytes for reporting.
+	Phase    comm.Phase
+	Category comm.Category
+	// Size is the metered wire size in bytes.
+	Size int
+	// Payload is the in-process representation of the posted message.
+	// Consumers must treat it as immutable.
+	Payload any
+}
+
+// Board is the append-only bulletin board. It is safe for concurrent use.
+type Board struct {
+	mu        sync.Mutex
+	postings  []Posting
+	meter     *comm.Meter
+	observers []func(Posting)
+}
+
+// NewBoard creates a board writing byte counts to meter. A nil meter
+// creates a private one.
+func NewBoard(meter *comm.Meter) *Board {
+	if meter == nil {
+		meter = &comm.Meter{}
+	}
+	return &Board{meter: meter}
+}
+
+// Post appends a posting and meters its size. It returns the assigned
+// sequence number.
+func (b *Board) Post(from string, phase comm.Phase, cat comm.Category, size int, payload any) int {
+	if size < 0 {
+		panic(fmt.Sprintf("transport: negative posting size %d", size))
+	}
+	b.meter.Add(phase, cat, size)
+	b.mu.Lock()
+	seq := len(b.postings)
+	p := Posting{Seq: seq, From: from, Phase: phase, Category: cat, Size: size, Payload: payload}
+	b.postings = append(b.postings, p)
+	observers := b.observers
+	b.mu.Unlock()
+	for _, fn := range observers {
+		fn(p)
+	}
+	return seq
+}
+
+// Observe registers a callback invoked synchronously after every posting —
+// the hook mirrors and monitors attach to. Callbacks must be fast and must
+// not post back to the board.
+func (b *Board) Observe(fn func(Posting)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.observers = append(b.observers, fn)
+}
+
+// Len returns the number of postings.
+func (b *Board) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.postings)
+}
+
+// Get returns posting seq.
+func (b *Board) Get(seq int) (Posting, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if seq < 0 || seq >= len(b.postings) {
+		return Posting{}, fmt.Errorf("transport: no posting %d (board has %d)", seq, len(b.postings))
+	}
+	return b.postings[seq], nil
+}
+
+// All returns a snapshot of all postings.
+func (b *Board) All() []Posting {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Posting, len(b.postings))
+	copy(out, b.postings)
+	return out
+}
+
+// Meter returns the board's meter.
+func (b *Board) Meter() *comm.Meter { return b.meter }
+
+// Report returns the current communication report.
+func (b *Board) Report() comm.Report { return b.meter.Report() }

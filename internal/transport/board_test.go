@@ -1,0 +1,103 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"yosompc/internal/comm"
+)
+
+func TestBoardAppendOnly(t *testing.T) {
+	b := NewBoard(nil)
+	for i := 0; i < 10; i++ {
+		seq := b.Post(fmt.Sprintf("r%d", i), comm.PhaseOffline, comm.CatLambda, i, i)
+		if seq != i {
+			t.Fatalf("seq = %d, want %d", seq, i)
+		}
+	}
+	if b.Len() != 10 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	for i := 0; i < 10; i++ {
+		p, err := b.Get(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Payload != i || p.Size != i {
+			t.Errorf("posting %d = %+v", i, p)
+		}
+	}
+}
+
+func TestBoardGetOutOfRange(t *testing.T) {
+	b := NewBoard(nil)
+	if _, err := b.Get(0); err == nil {
+		t.Error("Get on empty board succeeded")
+	}
+	if _, err := b.Get(-1); err == nil {
+		t.Error("Get(-1) succeeded")
+	}
+}
+
+func TestBoardSharedMeter(t *testing.T) {
+	m := &comm.Meter{}
+	b1 := NewBoard(m)
+	b2 := NewBoard(m)
+	b1.Post("a", comm.PhaseOnline, comm.CatMu, 10, nil)
+	b2.Post("b", comm.PhaseOnline, comm.CatMu, 20, nil)
+	if m.Report().Total != 30 {
+		t.Errorf("shared meter total = %d, want 30", m.Report().Total)
+	}
+	if b1.Meter() != m {
+		t.Error("Meter() does not return the shared meter")
+	}
+}
+
+func TestBoardConcurrentPosts(t *testing.T) {
+	b := NewBoard(nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				b.Post(fmt.Sprintf("g%d", g), comm.PhaseOffline, comm.CatBeaver, 1, nil)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if b.Len() != 800 {
+		t.Errorf("Len = %d, want 800", b.Len())
+	}
+	// Sequence numbers must be dense and unique.
+	seen := map[int]bool{}
+	for _, p := range b.All() {
+		if seen[p.Seq] {
+			t.Fatalf("duplicate seq %d", p.Seq)
+		}
+		seen[p.Seq] = true
+	}
+	if b.Report().Postings != 800 {
+		t.Errorf("postings = %d", b.Report().Postings)
+	}
+}
+
+func TestBoardAllIsSnapshot(t *testing.T) {
+	b := NewBoard(nil)
+	b.Post("a", comm.PhaseSetup, comm.CatCRS, 1, "x")
+	all := b.All()
+	b.Post("b", comm.PhaseSetup, comm.CatCRS, 1, "y")
+	if len(all) != 1 {
+		t.Error("All() snapshot grew")
+	}
+}
+
+func TestBoardNegativeSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative posting size accepted")
+		}
+	}()
+	NewBoard(nil).Post("a", comm.PhaseSetup, comm.CatCRS, -1, nil)
+}

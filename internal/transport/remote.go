@@ -1,0 +1,301 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"yosompc/internal/comm"
+)
+
+// A networked bulletin-board service: the deployment-shaped counterpart of
+// the in-process Board. A Server accepts TCP connections speaking a
+// newline-delimited JSON protocol with two requests:
+//
+//	{"op":"post", "from":…, "phase":…, "category":…, "size":…, "summary":…}
+//	  → {"ok":true, "seq":N}
+//	{"op":"tail", "since":N}
+//	  → a stream of Entry lines, first the backlog from N, then live posts
+//
+// Payload *contents* stay with the poster (the protocol drivers work on
+// in-process values); the service carries the public metadata — who
+// posted, in which phase/category, how many bytes — which is exactly what
+// remote observers audit and what the communication experiments measure.
+// A Mirror forwards an in-process run's postings to a Server as they
+// happen.
+
+// Entry is the wire form of one posting.
+type Entry struct {
+	Seq      int    `json:"seq"`
+	From     string `json:"from"`
+	Phase    string `json:"phase"`
+	Category string `json:"category"`
+	Size     int    `json:"size"`
+	// Summary is an optional human-readable description of the payload.
+	Summary string `json:"summary,omitempty"`
+}
+
+type request struct {
+	Op       string `json:"op"`
+	From     string `json:"from,omitempty"`
+	Phase    string `json:"phase,omitempty"`
+	Category string `json:"category,omitempty"`
+	Size     int    `json:"size,omitempty"`
+	Summary  string `json:"summary,omitempty"`
+	Since    int    `json:"since,omitempty"`
+}
+
+type response struct {
+	OK    bool   `json:"ok"`
+	Seq   int    `json:"seq,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// Server is a bulletin-board service instance.
+type Server struct {
+	ln    net.Listener
+	meter *comm.Meter
+
+	mu      sync.Mutex
+	entries []Entry
+	subs    map[chan Entry]struct{}
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+// Serve starts a server on the listener and returns immediately; Close
+// shuts it down and waits for the connection handlers.
+func Serve(ln net.Listener) *Server {
+	s := &Server{
+		ln:    ln,
+		meter: &comm.Meter{},
+		subs:  map[chan Entry]struct{}{},
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.handle(conn)
+			}()
+		}
+	}()
+	return s
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Len returns the number of stored entries.
+func (s *Server) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Report returns the byte accounting of everything posted so far.
+func (s *Server) Report() comm.Report { return s.meter.Report() }
+
+// Close stops accepting connections, terminates tailers and waits for all
+// handlers to exit.
+func (s *Server) Close() error {
+	err := s.ln.Close()
+	s.mu.Lock()
+	s.closed = true
+	for ch := range s.subs {
+		close(ch)
+	}
+	s.subs = map[chan Entry]struct{}{}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		switch req.Op {
+		case "post":
+			seq, err := s.post(req)
+			if err != nil {
+				_ = enc.Encode(response{Error: err.Error()})
+				continue
+			}
+			if err := enc.Encode(response{OK: true, Seq: seq}); err != nil {
+				return
+			}
+		case "tail":
+			s.tail(conn, enc, req.Since)
+			return // tail owns the connection until shutdown
+		default:
+			_ = enc.Encode(response{Error: fmt.Sprintf("unknown op %q", req.Op)})
+		}
+	}
+}
+
+func (s *Server) post(req request) (int, error) {
+	if req.Size < 0 {
+		return 0, errors.New("negative size")
+	}
+	if req.From == "" {
+		return 0, errors.New("missing poster")
+	}
+	s.meter.Add(comm.Phase(req.Phase), comm.Category(req.Category), req.Size)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := Entry{
+		Seq:      len(s.entries),
+		From:     req.From,
+		Phase:    req.Phase,
+		Category: req.Category,
+		Size:     req.Size,
+		Summary:  req.Summary,
+	}
+	s.entries = append(s.entries, e)
+	for ch := range s.subs {
+		select {
+		case ch <- e:
+		default: // slow tailer: drop rather than block the board
+		}
+	}
+	return e.Seq, nil
+}
+
+func (s *Server) tail(conn net.Conn, enc *json.Encoder, since int) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if since < 0 {
+		since = 0
+	}
+	backlog := make([]Entry, 0)
+	if since < len(s.entries) {
+		backlog = append(backlog, s.entries[since:]...)
+	}
+	ch := make(chan Entry, 256)
+	s.subs[ch] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.subs, ch)
+		s.mu.Unlock()
+	}()
+	for _, e := range backlog {
+		if err := enc.Encode(e); err != nil {
+			return
+		}
+	}
+	for e := range ch {
+		if err := enc.Encode(e); err != nil {
+			return
+		}
+	}
+	_ = conn
+}
+
+// Client posts entries to a remote board.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+}
+
+// Dial connects to a board server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dialing board %s: %w", addr, err)
+	}
+	return &Client{
+		conn: conn,
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+		enc:  json.NewEncoder(conn),
+	}, nil
+}
+
+// Post publishes one entry and returns its sequence number.
+func (c *Client) Post(from string, phase comm.Phase, cat comm.Category, size int, summary string) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err := c.enc.Encode(request{
+		Op: "post", From: from, Phase: string(phase), Category: string(cat),
+		Size: size, Summary: summary,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("transport: posting: %w", err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		return 0, fmt.Errorf("transport: reading post response: %w", err)
+	}
+	if !resp.OK {
+		return 0, fmt.Errorf("transport: board rejected post: %s", resp.Error)
+	}
+	return resp.Seq, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Tail opens a streaming subscription from sequence `since`, delivering
+// entries on the returned channel until the connection or server closes.
+func Tail(addr string, since int) (<-chan Entry, func() error, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("transport: dialing board %s: %w", addr, err)
+	}
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(request{Op: "tail", Since: since}); err != nil {
+		conn.Close()
+		return nil, nil, fmt.Errorf("transport: starting tail: %w", err)
+	}
+	out := make(chan Entry, 64)
+	go func() {
+		defer close(out)
+		dec := json.NewDecoder(bufio.NewReader(conn))
+		for {
+			var e Entry
+			if err := dec.Decode(&e); err != nil {
+				return
+			}
+			out <- e
+		}
+	}()
+	return out, conn.Close, nil
+}
+
+// AttachMirror forwards every posting of an in-process board to a remote
+// server as it happens (metadata + sizes; payloads stay local — they are
+// Go values, and the public record the service carries is who posted how
+// many bytes of what). Remote failures degrade silently: the local board
+// is authoritative and observability is best-effort by design. The
+// returned closer releases the connection.
+func AttachMirror(board *Board, addr string) (func() error, error) {
+	client, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	board.Observe(func(p Posting) {
+		_, _ = client.Post(p.From, p.Phase, p.Category, p.Size, fmt.Sprintf("%T", p.Payload))
+	})
+	return client.Close, nil
+}

@@ -1,0 +1,203 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"yosompc/internal/comm"
+)
+
+func startServer(t *testing.T) *Server {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Serve(ln)
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+func TestRemotePostAndLen(t *testing.T) {
+	s := startServer(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	seq, err := c.Post("off1/3", comm.PhaseOffline, comm.CatBeaver, 512, "ctBundle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 0 {
+		t.Errorf("first seq = %d", seq)
+	}
+	seq, err = c.Post("off1/4", comm.PhaseOffline, comm.CatBeaver, 512, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 1 || s.Len() != 2 {
+		t.Errorf("seq=%d len=%d", seq, s.Len())
+	}
+	rep := s.Report()
+	if rep.Total != 1024 || rep.ByCat[comm.PhaseOffline][comm.CatBeaver] != 1024 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestRemotePostValidation(t *testing.T) {
+	s := startServer(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Post("", comm.PhaseSetup, comm.CatCRS, 1, ""); err == nil {
+		t.Error("accepted empty poster")
+	}
+	if _, err := c.Post("a", comm.PhaseSetup, comm.CatCRS, -5, ""); err == nil {
+		t.Error("accepted negative size")
+	}
+	// The connection must survive rejected posts.
+	if _, err := c.Post("a", comm.PhaseSetup, comm.CatCRS, 1, ""); err != nil {
+		t.Errorf("post after rejection failed: %v", err)
+	}
+}
+
+func TestRemoteTailBacklogAndLive(t *testing.T) {
+	s := startServer(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Post("r", comm.PhaseOnline, comm.CatMu, 8, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, stop, err := Tail(s.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	// Backlog: seq 1 and 2.
+	for want := 1; want <= 2; want++ {
+		e := recvEntry(t, entries)
+		if e.Seq != want {
+			t.Errorf("backlog seq = %d, want %d", e.Seq, want)
+		}
+	}
+	// Live: a new post arrives on the stream.
+	if _, err := c.Post("r", comm.PhaseOnline, comm.CatMu, 8, "live"); err != nil {
+		t.Fatal(err)
+	}
+	e := recvEntry(t, entries)
+	if e.Seq != 3 || e.Summary != "live" {
+		t.Errorf("live entry = %+v", e)
+	}
+}
+
+func recvEntry(t *testing.T, ch <-chan Entry) Entry {
+	t.Helper()
+	select {
+	case e, ok := <-ch:
+		if !ok {
+			t.Fatal("tail channel closed early")
+		}
+		return e
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for entry")
+		return Entry{}
+	}
+}
+
+func TestRemoteConcurrentPosters(t *testing.T) {
+	s := startServer(t)
+	const posters, each = 8, 50
+	var wg sync.WaitGroup
+	for p := 0; p < posters; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(s.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < each; i++ {
+				if _, err := c.Post("w", comm.PhaseOffline, comm.CatLambda, 1, ""); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != posters*each {
+		t.Errorf("len = %d, want %d", s.Len(), posters*each)
+	}
+	if s.Report().Postings != posters*each {
+		t.Errorf("postings = %d", s.Report().Postings)
+	}
+}
+
+func TestRemoteServerCloseTerminatesTail(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Serve(ln)
+	entries, stop, err := Tail(s.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	done := make(chan struct{})
+	go func() {
+		for range entries {
+		}
+		close(done)
+	}()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("tail did not terminate on server close")
+	}
+}
+
+func TestAttachMirror(t *testing.T) {
+	s := startServer(t)
+	meter := &comm.Meter{}
+	board := NewBoard(meter)
+	closeMirror, err := AttachMirror(board, s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeMirror()
+	board.Post("off1/1", comm.PhaseOffline, comm.CatBeaver, 100, "payload")
+	board.Post("off1/2", comm.PhaseOffline, comm.CatBeaver, 200, 42)
+	// Local board is authoritative.
+	if board.Len() != 2 || meter.Report().Total != 300 {
+		t.Errorf("local: len=%d total=%d", board.Len(), meter.Report().Total)
+	}
+	// Remote mirror converges (posts are synchronous acks).
+	if s.Len() != 2 || s.Report().Total != 300 {
+		t.Errorf("remote: len=%d total=%d", s.Len(), s.Report().Total)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+	if _, _, err := Tail("127.0.0.1:1", 0); err == nil {
+		t.Error("tail to closed port succeeded")
+	}
+}

@@ -1,0 +1,142 @@
+package tte
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+
+	"yosompc/internal/paillier"
+)
+
+func djScheme(t *testing.T, s int) *Threshold {
+	t.Helper()
+	sc, err := NewThresholdDJ(paillier.FixedTestKey(2), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestDJThresholdRoundTrip(t *testing.T) {
+	for _, deg := range []int{2, 3} {
+		sc := djScheme(t, deg)
+		pk, shares, err := sc.KeyGen(5, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A plaintext far beyond N — only representable at s ≥ 2.
+		m := new(big.Int).Lsh(big.NewInt(1), 700)
+		m.Add(m, big.NewInt(12345))
+		if deg == 2 && m.Cmp(pk.MaxPlaintext()) >= 0 {
+			t.Fatalf("test plaintext exceeds capacity at s=%d", deg)
+		}
+		ct, err := sc.Encrypt(pk, m, new(big.Int).Lsh(m, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := decryptVia(t, sc, pk, shares, ct, []int{2, 4, 5})
+		if got.Cmp(m) != 0 {
+			t.Errorf("s=%d: decrypted %v, want %v", deg, got, m)
+		}
+	}
+}
+
+func TestDJThresholdCapacityGrows(t *testing.T) {
+	s1 := djScheme(t, 1)
+	s2 := djScheme(t, 2)
+	pk1, _, err := s1.KeyGen(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk2, _, err := s2.KeyGen(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// s=2 must accept bounds that s=1 rejects.
+	big1 := new(big.Int).Lsh(pk1.MaxPlaintext(), 2) // ≈ N
+	if _, err := s1.Encrypt(pk1, big.NewInt(1), big1); !errors.Is(err, ErrPlaintextTooBig) {
+		t.Errorf("s=1 accepted bound ≈ N: %v", err)
+	}
+	if _, err := s2.Encrypt(pk2, big.NewInt(1), big1); err != nil {
+		t.Errorf("s=2 rejected bound ≈ N: %v", err)
+	}
+	if pk2.CiphertextSize() <= pk1.CiphertextSize() {
+		t.Error("s=2 ciphertexts not larger")
+	}
+}
+
+func TestDJThresholdEvalAndReshare(t *testing.T) {
+	sc := djScheme(t, 2)
+	pk, shares, err := sc.KeyGen(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Large-coefficient linear combination that would overflow s=1.
+	base := new(big.Int).Lsh(big.NewInt(1), 400)
+	c1, err := sc.Encrypt(pk, base, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := sc.Encrypt(pk, big.NewInt(99), big.NewInt(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigCoeff := new(big.Int).Lsh(big.NewInt(1), 300)
+	sum, err := sc.Eval(pk, []Ciphertext{c1, c2}, []*big.Int{big.NewInt(3), bigCoeff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := new(big.Int).Mul(base, big.NewInt(3))
+	want.Add(want, new(big.Int).Mul(bigCoeff, big.NewInt(99)))
+
+	// Decrypt after one resharing epoch, exercising the Δ-divisor path
+	// modulo N^s.
+	next := reshareAll(t, sc, pk, shares, []int{1, 3})
+	got := decryptVia(t, sc, pk, next, sum, []int{2, 3})
+	if got.Cmp(want) != 0 {
+		t.Errorf("eval+reshare decrypted %v, want %v", got, want)
+	}
+}
+
+func TestDJSimPartialDecrypt(t *testing.T) {
+	sc := djScheme(t, 2)
+	pk, shares, err := sc.KeyGen(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := new(big.Int).Lsh(big.NewInt(7), 600)
+	ct, err := sc.Encrypt(pk, m, new(big.Int).Lsh(m, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := new(big.Int).Lsh(big.NewInt(3), 555)
+	corrupt := []KeyShare{shares[0], shares[1]}
+	simParts, err := sc.SimPartialDecrypt(pk, ct, target, corrupt, []int{3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parts []PartialDec
+	for _, c := range corrupt {
+		p, err := sc.PartialDecrypt(pk, c, ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, p)
+	}
+	got, err := sc.Combine(pk, ct, append(parts, simParts...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(target) != 0 {
+		t.Errorf("retargeted combination = %v, want %v", got, target)
+	}
+}
+
+func TestNewThresholdDJValidation(t *testing.T) {
+	if _, err := NewThresholdDJ(paillier.FixedTestKey(2), 0); err == nil {
+		t.Error("accepted s=0")
+	}
+	if _, err := NewThresholdDJ(nil, 2); err == nil {
+		t.Error("accepted nil dealer")
+	}
+}

@@ -1,0 +1,46 @@
+package tte
+
+import (
+	"math/big"
+	"testing"
+)
+
+func bigOne() *big.Int { return big.NewInt(1) }
+
+// FuzzDecode checks that the wire decoders never panic on arbitrary bytes
+// (they parse attacker-controlled envelope contents).
+func FuzzDecode(f *testing.F) {
+	s := NewSim(512)
+	pk, shares, err := s.KeyGen(3, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	ct, err := s.Encrypt(pk, bigOne(), bigOne())
+	if err != nil {
+		f.Fatal(err)
+	}
+	p, err := s.PartialDecrypt(pk, shares[0], ct)
+	if err != nil {
+		f.Fatal(err)
+	}
+	enc, err := s.EncodePartial(p)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(enc)
+	subs, err := s.Reshare(pk, shares[0])
+	if err != nil {
+		f.Fatal(err)
+	}
+	subEnc, err := s.EncodeSubShare(subs[0])
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(subEnc)
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = s.DecodePartial(pk, data)
+		_, _ = s.DecodeSubShare(pk, data)
+	})
+}

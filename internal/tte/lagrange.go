@@ -1,0 +1,66 @@
+package tte
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+)
+
+// Integer Lagrange machinery for exponent arithmetic. With evaluation
+// points drawn from {1..n}, the Lagrange coefficient denominators divide
+// Δ = n!, so Λ_i = Δ·λ_i(0) is always an integer; working with the Λ_i
+// avoids inverting modulo the secret group order.
+
+// factorial returns n! as a big integer.
+func factorial(n int) *big.Int {
+	out := big.NewInt(1)
+	for i := 2; i <= n; i++ {
+		out.Mul(out, big.NewInt(int64(i)))
+	}
+	return out
+}
+
+// scaledLagrangeAt returns the integers Λ_i = Δ·λ_i(at) for the point set
+// xs (distinct values in 1..n) evaluated at `at`, where λ_i are the
+// rational Lagrange coefficients: f(at) = Σ λ_i·f(x_i) for deg f < len(xs).
+// The division is exact by construction; this is verified and reported as
+// an error otherwise (which would indicate points outside 1..n).
+func scaledLagrangeAt(delta *big.Int, xs []int, at int) ([]*big.Int, error) {
+	if err := checkDistinctInts(xs); err != nil {
+		return nil, err
+	}
+	out := make([]*big.Int, len(xs))
+	for i, xi := range xs {
+		num := new(big.Int).Set(delta)
+		den := big.NewInt(1)
+		for j, xj := range xs {
+			if j == i {
+				continue
+			}
+			num.Mul(num, big.NewInt(int64(at-xj)))
+			den.Mul(den, big.NewInt(int64(xi-xj)))
+		}
+		q, r := new(big.Int).QuoRem(num, den, new(big.Int))
+		if r.Sign() != 0 {
+			return nil, fmt.Errorf("tte: Δ·λ_%d(%d) is not an integer (points %v)", xi, at, xs)
+		}
+		out[i] = q
+	}
+	return out, nil
+}
+
+// scaledLagrangeAtZero is the common reconstruction-at-zero case.
+func scaledLagrangeAtZero(delta *big.Int, xs []int) ([]*big.Int, error) {
+	return scaledLagrangeAt(delta, xs, 0)
+}
+
+func checkDistinctInts(xs []int) error {
+	sorted := append([]int(nil), xs...)
+	sort.Ints(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return fmt.Errorf("%w: %d", ErrDuplicateIndex, sorted[i])
+		}
+	}
+	return nil
+}
