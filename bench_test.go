@@ -306,6 +306,58 @@ func BenchmarkBaselineEndToEndSim(b *testing.B) {
 	}
 }
 
+// benchmarkOfflinePhase times setup + the full offline phase (Steps 1–6)
+// at the E11 reference size — n=64, k=8, 1000 multiplication gates — for a
+// given worker-pool size. The communication report is identical for every
+// worker count (asserted in internal/bench and internal/core); these
+// benchmarks expose the wall-clock difference.
+func benchmarkOfflinePhase(b *testing.B, workers int) {
+	if testing.Short() {
+		b.Skip("heavy offline wall-clock benchmark in -short mode")
+	}
+	circ, err := WideMul(1000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{N: 64, T: 15, K: 8, Backend: Sim, Workers: workers}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Prepare(cfg, circ); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOfflinePhaseSerial is the engine's serial reference path.
+func BenchmarkOfflinePhaseSerial(b *testing.B) { benchmarkOfflinePhase(b, 1) }
+
+// BenchmarkOfflinePhaseParallel uses one worker per CPU; the speedup over
+// BenchmarkOfflinePhaseSerial is bounded by the machine's CPU count.
+func BenchmarkOfflinePhaseParallel(b *testing.B) { benchmarkOfflinePhase(b, 0) }
+
+// BenchmarkOfflineSpeedup runs experiment E11 end to end at a reduced
+// width and reports the measured serial/parallel ratio as a metric.
+func BenchmarkOfflineSpeedup(b *testing.B) {
+	if testing.Short() {
+		b.Skip("heavy offline wall-clock benchmark in -short mode")
+	}
+	var res *bench.OfflineSpeedupResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = bench.OfflineSpeedup(64, 15, 8, 128, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.ReportsEqual {
+			b.Fatal("serial and parallel offline reports diverged")
+		}
+	}
+	printTable("E11: offline wall clock, serial vs worker pool (width 128)",
+		bench.FormatOfflineSpeedup(res))
+	b.ReportMetric(res.Speedup, "offline-speedup")
+}
+
 // BenchmarkOnlineLatency times ONLY the online phase (inputs → outputs)
 // against preprocessed correlations — the latency a deployment sees once
 // inputs arrive. Compare with BenchmarkEndToEndSim, which pays the

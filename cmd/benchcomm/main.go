@@ -21,11 +21,14 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "all | table1 | online | improvement | offline | failstop | robust | amortization | totalcost | ablation")
+		experiment = flag.String("experiment", "all", "all | table1 | online | improvement | offline | failstop | robust | amortization | totalcost | ablation | speedup")
 		widthMult  = flag.Int("widthmult", 16, "E2 workload width multiplier (width = widthmult·n·k)")
 		eps        = flag.Float64("eps", 0.25, "gap ε for measured sweeps")
+		workers    = flag.Int("workers", 0, "worker-pool size for all measured runs (0 = one per CPU, 1 = serial)")
+		speedupW   = flag.Int("speedup-width", 1024, "E11 workload width (mul gates) for -experiment speedup")
 	)
 	flag.Parse()
+	bench.Workers = *workers
 
 	run := func(name string, f func() error) {
 		if *experiment != "all" && *experiment != name {
@@ -129,6 +132,20 @@ func main() {
 		fmt.Println()
 		return nil
 	})
+
+	// E11 is wall-clock heavy (two full offline phases at n=64), so it
+	// only runs when named explicitly, never under -experiment all.
+	if *experiment == "speedup" {
+		res, err := bench.OfflineSpeedup(64, 15, 8, *speedupW, *workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcomm: speedup: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("=== E11: offline wall clock, serial vs worker pool ===")
+		fmt.Print(bench.FormatOfflineSpeedup(res))
+		fmt.Println()
+		return
+	}
 
 	run("ablation", func() error {
 		rows, err := bench.PackingAblation(16, 3, 4, 16)

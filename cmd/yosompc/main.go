@@ -34,6 +34,7 @@ func main() {
 		seed        = flag.Int64("seed", 1, "adversary seed")
 		optimize    = flag.Bool("optimize", false, "run the circuit optimizer before executing")
 		robust      = flag.Bool("robust", false, "IT-GOD mode: decode cheating μ-shares instead of proof-filtering (needs 3t+2(k-1)+1 ≤ n)")
+		workers     = flag.Int("workers", 0, "worker-pool size for the parallel execution engine (0 = one per CPU, 1 = serial)")
 		mirror      = flag.String("mirror", "", "live-mirror board postings to a boardd server at this address")
 		jsonOut     = flag.Bool("json", false, "emit the communication report as JSON")
 	)
@@ -65,7 +66,7 @@ func main() {
 	cfg := yosompc.Config{
 		N: *n, T: *t, K: *k,
 		Malicious: *malicious, FailStops: *failstops, Seed: *seed,
-		Robust: *robust, MirrorAddr: *mirror,
+		Robust: *robust, MirrorAddr: *mirror, Workers: *workers,
 	}
 	if *backendName == "real" {
 		cfg.Backend = yosompc.Real

@@ -8,7 +8,9 @@ package bench
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
+	"time"
 
 	"yosompc/internal/baseline"
 	"yosompc/internal/circuit"
@@ -16,6 +18,7 @@ import (
 	"yosompc/internal/core"
 	"yosompc/internal/costmodel"
 	"yosompc/internal/field"
+	"yosompc/internal/parallel"
 	"yosompc/internal/pke"
 	"yosompc/internal/sortition"
 	"yosompc/internal/tte"
@@ -24,6 +27,12 @@ import (
 
 // ModelBits is the modelled Paillier modulus for communication accounting.
 const ModelBits = 2048
+
+// Workers configures the core engine's worker-pool size for every measured
+// run (0 = one per CPU, 1 = serial). Byte reports are identical for any
+// value — the knob only changes wall clock, so the communication
+// experiments are unaffected by it.
+var Workers int
 
 // defaultInputs builds deterministic inputs for a circuit.
 func defaultInputs(c *circuit.Circuit) map[int][]field.Element {
@@ -41,7 +50,8 @@ func defaultInputs(c *circuit.Circuit) map[int][]field.Element {
 // runCore executes the packed protocol with ideal backends and returns its
 // communication report.
 func runCore(n, t, k int, circ *circuit.Circuit, adv *yoso.Adversary) (comm.Report, error) {
-	params := core.Params{N: n, T: t, K: k, TE: tte.NewSim(ModelBits), PKE: pke.NewSim(), Adversary: adv}
+	params := core.Params{N: n, T: t, K: k, TE: tte.NewSim(ModelBits), PKE: pke.NewSim(),
+		Adversary: adv, Workers: Workers}
 	proto, err := core.New(params, circ, nil)
 	if err != nil {
 		return comm.Report{}, err
@@ -616,5 +626,85 @@ func FormatAmortization(pts []AmortizationPoint) string {
 	for _, p := range pts {
 		fmt.Fprintf(&b, "%-8d %-20.1f %-16.1f\n", p.Width, p.OnlinePerGate, p.MuPerGate)
 	}
+	return b.String()
+}
+
+// --- E11: offline-phase wall clock, serial vs worker pool ----------------
+
+// OfflineSpeedupResult compares the offline-phase wall clock of the serial
+// engine (Workers=1) against the worker pool, and cross-checks the
+// serial-equivalence guarantee: both runs must produce the same
+// communication report, byte for byte.
+type OfflineSpeedupResult struct {
+	N, T, K int
+	// Muls is the number of multiplication gates preprocessed.
+	Muls int
+	// Workers is the pool size of the parallel run (resolved from 0).
+	Workers int
+	// Serial and Parallel are the setup+offline wall-clock times.
+	Serial, Parallel time.Duration
+	// Speedup is Serial/Parallel (> 1 means the pool is faster).
+	Speedup float64
+	// ReportsEqual confirms the two runs metered identical bytes in every
+	// phase and category — the engine's serial-equivalence guarantee.
+	ReportsEqual bool
+	// SerialReport and ParallelReport are the two runs' full breakdowns.
+	SerialReport, ParallelReport comm.Report
+}
+
+// OfflineSpeedup measures E11: wall-clock time of the offline phase
+// (setup + Steps 1–6) at a representative size, serial vs pooled, with the
+// ideal backends. `workers` ≤ 0 resolves to one worker per CPU. Note the
+// speedup is bounded by the machine's CPU count — on a single-core host
+// the two runs tie (modulo scheduling noise), which is itself evidence the
+// pool adds no metering or bookkeeping cost.
+func OfflineSpeedup(n, t, k, width, workers int) (*OfflineSpeedupResult, error) {
+	circ, err := circuit.WideMul(width, 1)
+	if err != nil {
+		return nil, err
+	}
+	runOffline := func(w int) (time.Duration, comm.Report, error) {
+		params := core.Params{N: n, T: t, K: k, TE: tte.NewSim(ModelBits), PKE: pke.NewSim(), Workers: w}
+		proto, err := core.New(params, circ, nil)
+		if err != nil {
+			return 0, comm.Report{}, err
+		}
+		start := time.Now()
+		prepared, err := proto.Prepare()
+		if err != nil {
+			return 0, comm.Report{}, err
+		}
+		return time.Since(start), prepared.OfflineReport(), nil
+	}
+	serial, serialRep, err := runOffline(1)
+	if err != nil {
+		return nil, fmt.Errorf("bench: serial offline: %w", err)
+	}
+	workers = parallel.Normalize(workers)
+	par, parRep, err := runOffline(workers)
+	if err != nil {
+		return nil, fmt.Errorf("bench: parallel offline (workers=%d): %w", workers, err)
+	}
+	res := &OfflineSpeedupResult{
+		N: n, T: t, K: k, Muls: circ.NumMul(), Workers: workers,
+		Serial: serial, Parallel: par,
+		ReportsEqual:   reflect.DeepEqual(serialRep, parRep),
+		SerialReport:   serialRep,
+		ParallelReport: parRep,
+	}
+	if par > 0 {
+		res.Speedup = float64(serial) / float64(par)
+	}
+	return res, nil
+}
+
+// FormatOfflineSpeedup renders E11.
+func FormatOfflineSpeedup(r *OfflineSpeedupResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d t=%d k=%d, %d mul gates\n", r.N, r.T, r.K, r.Muls)
+	fmt.Fprintf(&b, "%-22s %v\n", "serial (workers=1):", r.Serial.Round(time.Millisecond))
+	fmt.Fprintf(&b, "%-22s %v\n", fmt.Sprintf("pooled (workers=%d):", r.Workers), r.Parallel.Round(time.Millisecond))
+	fmt.Fprintf(&b, "%-22s %.2f×\n", "speedup:", r.Speedup)
+	fmt.Fprintf(&b, "%-22s %v\n", "reports identical:", r.ReportsEqual)
 	return b.String()
 }

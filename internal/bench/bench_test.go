@@ -188,6 +188,44 @@ func TestKFFAblation(t *testing.T) {
 	}
 }
 
+func TestOfflineSpeedupEquivalence(t *testing.T) {
+	// Small instance of E11. The assertion of record is ReportsEqual: the
+	// byte report must be identical for every worker count — wall clock is
+	// the only thing the pool may change (and on a single-CPU host it may
+	// not even change that, so no speedup floor is asserted here).
+	res, err := OfflineSpeedup(12, 2, 3, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ReportsEqual {
+		t.Errorf("serial and parallel offline reports diverged:\nserial: %+v\nparallel: %+v",
+			res.SerialReport, res.ParallelReport)
+	}
+	if res.Muls != 32 || res.Workers != 4 {
+		t.Errorf("result shape: %+v", res)
+	}
+	if res.Serial <= 0 || res.Parallel <= 0 || res.Speedup <= 0 {
+		t.Errorf("non-positive timings: %+v", res)
+	}
+	if s := FormatOfflineSpeedup(res); !strings.Contains(s, "serial") || !strings.Contains(s, "reports identical") {
+		t.Errorf("format output missing fields:\n%s", s)
+	}
+}
+
+func TestOfflineSpeedupDefaultWorkers(t *testing.T) {
+	// workers ≤ 0 resolves to one per CPU — never 0, never negative.
+	res, err := OfflineSpeedup(8, 1, 2, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workers < 1 {
+		t.Errorf("workers resolved to %d", res.Workers)
+	}
+	if !res.ReportsEqual {
+		t.Error("reports diverged at default worker count")
+	}
+}
+
 func TestAmortizationCurve(t *testing.T) {
 	pts, err := AmortizationCurve(12, 2, 3, []int{6, 24, 96})
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"yosompc/internal/circuit"
 	"yosompc/internal/comm"
 	"yosompc/internal/field"
+	"yosompc/internal/parallel"
 	"yosompc/internal/pke"
 	"yosompc/internal/sharing"
 	"yosompc/internal/tte"
@@ -177,7 +178,9 @@ func (r *run) offlineBeaver() error {
 	}
 	cB := make([]tte.Ciphertext, len(muls))
 	cC := make([]tte.Ciphertext, len(muls))
-	for g := range muls {
+	// "Everyone computes" the per-gate b/c sums — independent per gate, so
+	// the loop fans out over the worker pool, slot-indexed per gate.
+	if err := parallel.For(r.ctx, r.workers(), len(muls), func(g int) error {
 		var bParts, cParts []tte.Ciphertext
 		for i := 1; i <= r.offB2.N(); i++ {
 			payload, ok := bcPosts[i]
@@ -200,6 +203,9 @@ func (r *run) offlineBeaver() error {
 			return err
 		}
 		cB[g], cC[g] = sumB, sumC
+		return nil
+	}); err != nil {
+		return err
 	}
 	for g, gi := range muls {
 		r.beaver[gi] = &beaverTriple{a: cA[g], b: cB[g], c: cC[g]}
@@ -213,23 +219,30 @@ type bundle2 struct{ a, b ctBundle }
 func (b bundle2) wireSize() int { return b.a.wireSize() + b.b.wireSize() }
 
 // sumContributions adds each position's valid contributions: the standard
-// "everyone computes TEval(tpk, {c_i}_{i∈S}, (1)^|S|)" pattern.
+// "everyone computes TEval(tpk, {c_i}_{i∈S}, (1)^|S|)" pattern. Positions
+// are independent, so the loop fans out over the worker pool; the output
+// stays slot-indexed by position (TEval is commutative over the
+// contribution set, so the result is worker-count independent).
 func (r *run) sumContributions(posts map[int]any, count int) ([]tte.Ciphertext, error) {
 	te := r.p.params.TE
 	out := make([]tte.Ciphertext, count)
-	for pos := 0; pos < count; pos++ {
+	err := parallel.For(r.ctx, r.workers(), count, func(pos int) error {
 		var parts []tte.Ciphertext
 		for _, payload := range posts {
 			parts = append(parts, payload.(ctBundle).cts[pos])
 		}
 		if len(parts) == 0 {
-			return nil, fmt.Errorf("%w: no valid contributions at position %d", ErrNotEnough, pos)
+			return fmt.Errorf("%w: no valid contributions at position %d", ErrNotEnough, pos)
 		}
 		sum, err := te.Eval(r.tpk, parts, onesVec(len(parts)))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out[pos] = sum
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -344,9 +357,11 @@ func (r *run) offlineDependentWires() error {
 		return err
 	}
 
-	// ε/δ ciphertexts per mul gate.
-	open := make([]tte.Ciphertext, 0, 2*len(muls))
-	for _, gi := range muls {
+	// ε/δ ciphertexts per mul gate — independent per gate, slot-indexed so
+	// the opened order is identical to the serial path.
+	open := make([]tte.Ciphertext, 2*len(muls))
+	if err := parallel.For(r.ctx, r.workers(), len(muls), func(m int) error {
+		gi := muls[m]
 		g := gates[gi]
 		bt := r.beaver[gi]
 		eps, err := te.Eval(r.tpk, []tte.Ciphertext{r.wireCt[g.A], bt.a}, onesVec(2))
@@ -357,7 +372,10 @@ func (r *run) offlineDependentWires() error {
 		if err != nil {
 			return err
 		}
-		open = append(open, eps, del)
+		open[2*m], open[2*m+1] = eps, del
+		return nil
+	}); err != nil {
+		return err
 	}
 
 	openings, err := r.offDecSpeak(open)
@@ -365,8 +383,12 @@ func (r *run) offlineDependentWires() error {
 		return err
 	}
 
-	// Everyone: c^Γ = ε·c^β + (p−δ)·c^x + c^z + (p−1)·c^γ.
-	for m, gi := range muls {
+	// Everyone: c^Γ = ε·c^β + (p−δ)·c^x + c^z + (p−1)·c^γ. Gates are
+	// independent; results land in a slot-indexed slice and the gammaCt map
+	// is filled serially afterwards (map writes are not concurrency-safe).
+	gammas := make([]tte.Ciphertext, len(muls))
+	if err := parallel.For(r.ctx, r.workers(), len(muls), func(m int) error {
+		gi := muls[m]
 		g := gates[gi]
 		bt := r.beaver[gi]
 		eps := openings[2*m]
@@ -378,10 +400,16 @@ func (r *run) offlineDependentWires() error {
 		if err != nil {
 			return err
 		}
-		if r.gammaCt == nil {
-			r.gammaCt = map[int]tte.Ciphertext{}
-		}
-		r.gammaCt[gi] = gamma
+		gammas[m] = gamma
+		return nil
+	}); err != nil {
+		return err
+	}
+	if r.gammaCt == nil {
+		r.gammaCt = map[int]tte.Ciphertext{}
+	}
+	for m, gi := range muls {
+		r.gammaCt[gi] = gammas[m]
 	}
 	return nil
 }
@@ -490,11 +518,12 @@ func (r *run) storeHandoff(nextName string, posts map[int]any) {
 }
 
 // combineOpenings combines the verified partial decryptions of each opened
-// ciphertext and reduces into the field.
+// ciphertext and reduces into the field. The per-opening TDec fan-in is
+// independent per position, so it runs on the worker pool, slot-indexed.
 func (r *run) combineOpenings(open []tte.Ciphertext, posts map[int]any) ([]field.Element, error) {
 	te := r.p.params.TE
 	out := make([]field.Element, len(open))
-	for j, ct := range open {
+	err := parallel.For(r.ctx, r.workers(), len(open), func(j int) error {
 		var parts []tte.PartialDec
 		for _, payload := range posts {
 			dp, ok := payload.(decPayload)
@@ -503,11 +532,15 @@ func (r *run) combineOpenings(open []tte.Ciphertext, posts map[int]any) ([]field
 			}
 			parts = append(parts, dp.partials[j])
 		}
-		v, err := te.Combine(r.tpk, ct, parts)
+		v, err := te.Combine(r.tpk, open[j], parts)
 		if err != nil {
-			return nil, fmt.Errorf("%w: opening %d: %v", ErrNotEnough, j, err)
+			return fmt.Errorf("%w: opening %d: %v", ErrNotEnough, j, err)
 		}
 		out[j] = reduceToField(v)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -571,16 +604,22 @@ func (r *run) offlinePack() error {
 		pack := func(vals []tte.Ciphertext, helpers []tte.Ciphertext) ([]tte.Ciphertext, error) {
 			points := append(append([]tte.Ciphertext{}, vals...), helpers...)
 			out := make([]tte.Ciphertext, p.N)
-			for i := 0; i < p.N; i++ {
+			// One homomorphic interpolation per share index — the
+			// packing-helper hot loop, fanned out slot-indexed per index.
+			err := parallel.For(r.ctx, r.workers(), p.N, func(i int) error {
 				coeffs := make([]*big.Int, len(points))
 				for j := range coeffs {
 					coeffs[j] = fieldCoeff(rows[i][j])
 				}
 				ct, err := te.Eval(r.tpk, points, coeffs)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				out[i] = ct
+				return nil
+			})
+			if err != nil {
+				return nil, err
 			}
 			return out, nil
 		}

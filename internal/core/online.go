@@ -2,11 +2,11 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"yosompc/internal/circuit"
 	"yosompc/internal/comm"
 	"yosompc/internal/field"
+	"yosompc/internal/parallel"
 	"yosompc/internal/pke"
 	"yosompc/internal/sharing"
 	"yosompc/internal/tte"
@@ -826,34 +826,33 @@ func (r *run) layerStepRobust(c *yoso.Committee, l int,
 		ok      bool
 	}
 	results := make([]outcome, c.N())
-	var wg sync.WaitGroup
-	for i := 1; i <= c.N(); i++ {
-		wg.Add(1)
-		go func(idx int) {
-			defer wg.Done()
-			role := c.Role(idx)
-			switch role.Behavior {
-			case yoso.FailStop:
-				return
-			case yoso.Malicious:
-				lies := make([]field.Element, nBatches)
-				for j := range lies {
-					lies[j] = field.MustRandom()
-				}
-				payload := muBundle{vals: lies}
-				role.Post(comm.PhaseOnline, comm.CatMu, payload.wireSize(), payload)
-				results[idx-1] = outcome{payload: payload, ok: true}
-			default:
-				payload, err := honest(idx)
-				if err != nil {
-					return // treated as a crash; decoding tolerates it
-				}
-				role.Post(comm.PhaseOnline, comm.CatMu, payload.wireSize(), payload)
-				results[idx-1] = outcome{payload: payload, ok: true}
+	// Members run on the worker pool; results stay slot-indexed. Honest
+	// errors are swallowed (treated as crashes), so the fan-out itself
+	// never fails.
+	_ = parallel.For(r.ctx, r.workers(), c.N(), func(idx0 int) error {
+		idx := idx0 + 1
+		role := c.Role(idx)
+		switch role.Behavior {
+		case yoso.FailStop:
+			return nil
+		case yoso.Malicious:
+			lies := make([]field.Element, nBatches)
+			for j := range lies {
+				lies[j] = field.MustRandom()
 			}
-		}(i)
-	}
-	wg.Wait()
+			payload := muBundle{vals: lies}
+			role.Post(comm.PhaseOnline, comm.CatMu, payload.wireSize(), payload)
+			results[idx-1] = outcome{payload: payload, ok: true}
+		default:
+			payload, err := honest(idx)
+			if err != nil {
+				return nil // treated as a crash; decoding tolerates it
+			}
+			role.Post(comm.PhaseOnline, comm.CatMu, payload.wireSize(), payload)
+			results[idx-1] = outcome{payload: payload, ok: true}
+		}
+		return nil
+	})
 	posts := make(map[int]any, c.N())
 	for idx1, res := range results {
 		if res.ok {

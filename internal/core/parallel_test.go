@@ -1,0 +1,140 @@
+package core
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"yosompc/internal/circuit"
+	"yosompc/internal/field"
+	"yosompc/internal/yoso"
+)
+
+// runWithWorkers executes one run at the given worker count and returns the
+// observable record: result plus the sorted audit-event multiset.
+func runWithWorkers(t *testing.T, params Params, workers int, circ *circuit.Circuit, in map[int][]field.Element) (*Result, []string) {
+	t.Helper()
+	params.Workers = workers
+	res := runAndCompare(t, params, circ, in)
+	events := make([]string, len(res.Audit))
+	for i, e := range res.Audit {
+		events[i] = e.String()
+	}
+	sort.Strings(events)
+	return res, events
+}
+
+// The engine's contract: the worker count changes wall clock only. Every
+// observable — outputs, the metered communication report, the excluded
+// list, the round count, the audit-event multiset — is identical between
+// the serial path (Workers=1) and any pool size.
+func TestWorkersSerialEquivalence(t *testing.T) {
+	circ, err := circuit.WideMul(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := inputsOf(map[int][]uint64{0: {2, 3, 4, 5}, 1: {6, 7, 2, 3}})
+	serial, serialEvents := runWithWorkers(t, simParams(12, 2, 3, nil), 1, circ, in)
+	for _, workers := range []int{2, 8} {
+		par, parEvents := runWithWorkers(t, simParams(12, 2, 3, nil), workers, circ, in)
+		if !reflect.DeepEqual(serial.Report, par.Report) {
+			t.Errorf("workers=%d: report diverged from serial:\nserial: %+v\nparallel: %+v",
+				workers, serial.Report, par.Report)
+		}
+		for client, vals := range serial.Outputs {
+			if !field.EqualVec(par.Outputs[client], vals) {
+				t.Errorf("workers=%d: client %d outputs %v, serial %v",
+					workers, client, par.Outputs[client], vals)
+			}
+		}
+		if par.Rounds != serial.Rounds {
+			t.Errorf("workers=%d: rounds = %d, serial %d", workers, par.Rounds, serial.Rounds)
+		}
+		if !reflect.DeepEqual(serialEvents, parEvents) {
+			t.Errorf("workers=%d: audit multiset diverged (serial %d events, parallel %d)",
+				workers, len(serialEvents), len(parEvents))
+		}
+	}
+}
+
+// The same contract must survive an active adversary: exclusions, robust
+// decoding and fail-stop gaps all run through the pool.
+func TestWorkersSerialEquivalenceAdversarial(t *testing.T) {
+	circ, err := circuit.InnerProduct(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := inputsOf(map[int][]uint64{0: {1, 2, 3}, 1: {4, 5, 6}})
+	run := func(workers int) (*Result, []string) {
+		// n=12, t=2, k=2: 2 malicious + 2 crashed leaves 8 honest ≥ 7.
+		params := simParams(12, 2, 2, yoso.NewAdversary(2, 2, 13))
+		return runWithWorkers(t, params, workers, circ, in)
+	}
+	serial, serialEvents := run(1)
+	par, parEvents := run(8)
+	if !reflect.DeepEqual(serial.Report, par.Report) {
+		t.Errorf("adversarial report diverged:\nserial: %+v\nparallel: %+v", serial.Report, par.Report)
+	}
+	sortedExcluded := func(res *Result) []string {
+		out := append([]string(nil), res.Excluded...)
+		sort.Strings(out)
+		return out
+	}
+	if !reflect.DeepEqual(sortedExcluded(serial), sortedExcluded(par)) {
+		t.Errorf("excluded diverged: serial %v, parallel %v", serial.Excluded, par.Excluded)
+	}
+	if !reflect.DeepEqual(serialEvents, parEvents) {
+		t.Errorf("adversarial audit multiset diverged (serial %d events, parallel %d)",
+			len(serialEvents), len(parEvents))
+	}
+}
+
+// Robust (IT-GOD) mode drives the partial-decryption fan-in and
+// Berlekamp–Welch correction through the pool.
+func TestWorkersSerialEquivalenceRobust(t *testing.T) {
+	circ, err := circuit.InnerProduct(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := inputsOf(map[int][]uint64{0: {1, 2, 3, 4}, 1: {5, 6, 7, 8}})
+	run := func(workers int) (*Result, []string) {
+		params := simParams(14, 3, 2, yoso.NewAdversary(3, 0, 41))
+		params.Robust = true
+		return runWithWorkers(t, params, workers, circ, in)
+	}
+	serial, serialEvents := run(1)
+	par, parEvents := run(6)
+	if !reflect.DeepEqual(serial.Report, par.Report) {
+		t.Errorf("robust report diverged:\nserial: %+v\nparallel: %+v", serial.Report, par.Report)
+	}
+	if !reflect.DeepEqual(serialEvents, parEvents) {
+		t.Errorf("robust audit multiset diverged (serial %d events, parallel %d)",
+			len(serialEvents), len(parEvents))
+	}
+	if par.Outputs[0][0] != field.New(70) || serial.Outputs[0][0] != field.New(70) {
+		t.Errorf("robust outputs: serial %v, parallel %v", serial.Outputs[0][0], par.Outputs[0][0])
+	}
+}
+
+func TestEffectiveWorkers(t *testing.T) {
+	p := Params{}
+	if got := p.EffectiveWorkers(); got < 1 {
+		t.Errorf("default workers = %d, want ≥ 1", got)
+	}
+	p.Workers = 3
+	if got := p.EffectiveWorkers(); got != 3 {
+		t.Errorf("workers = %d, want 3", got)
+	}
+}
+
+func TestNegativeWorkersRejected(t *testing.T) {
+	circ, err := circuit.InnerProduct(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := simParams(6, 1, 2, nil)
+	params.Workers = -1
+	if _, err := New(params, circ, nil); err == nil {
+		t.Error("negative worker count accepted")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"log/slog"
 
+	"yosompc/internal/parallel"
 	"yosompc/internal/pke"
 	"yosompc/internal/tte"
 	"yosompc/internal/yoso"
@@ -65,6 +66,15 @@ type Params struct {
 	// then known) role keys, moving the Θ(n²·batches) re-encryption cost
 	// into the online phase. Used by the KFF ablation benchmark.
 	NoKFF bool
+	// Workers bounds the worker-pool parallelism of the execution engine:
+	// committee-member contribution loops and the driver's "everyone
+	// computes" loops (contribution sums, homomorphic packing, opening
+	// combination) fan out over at most Workers goroutines. 0 (the
+	// default) means runtime.NumCPU(); 1 forces the fully serial path.
+	// The worker count never changes what is produced: posted bundles,
+	// metered byte counts, and audit totals are identical for every value
+	// (see EffectiveWorkers).
+	Workers int
 	// Robust switches the online μ-opening to information-theoretic
 	// guaranteed output delivery: layer roles post bare shares without
 	// proofs and cheaters are *decoded out* by Berlekamp–Welch error
@@ -96,6 +106,8 @@ func (p *Params) Validate() error {
 	case p.Robust && 3*p.T+2*(p.K-1)+1 > p.N:
 		return fmt.Errorf("%w: robust decoding threshold 3t+2(k-1)+1 = %d exceeds n = %d",
 			ErrBadParams, 3*p.T+2*(p.K-1)+1, p.N)
+	case p.Workers < 0:
+		return fmt.Errorf("%w: workers=%d", ErrBadParams, p.Workers)
 	case p.TE == nil:
 		return fmt.Errorf("%w: missing TE backend", ErrBadParams)
 	case p.PKE == nil:
@@ -110,3 +122,7 @@ func (p *Params) ReconstructionThreshold() int { return p.T + 2*(p.K-1) + 1 }
 
 // PackedDegree returns the degree t+k−1 of the packed λ/Γ sharings.
 func (p *Params) PackedDegree() int { return p.T + p.K - 1 }
+
+// EffectiveWorkers resolves the Workers knob: 0 (or any value below 1)
+// means one worker per CPU, anything else is taken literally.
+func (p *Params) EffectiveWorkers() int { return parallel.Normalize(p.Workers) }

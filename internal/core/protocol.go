@@ -4,12 +4,12 @@ import (
 	"context"
 	"fmt"
 	"math/big"
-	"sync"
 
 	"yosompc/internal/circuit"
 	"yosompc/internal/comm"
 	"yosompc/internal/field"
 	"yosompc/internal/nizk"
+	"yosompc/internal/parallel"
 	"yosompc/internal/pke"
 	"yosompc/internal/sharing"
 	"yosompc/internal/transport"
@@ -250,15 +250,21 @@ func (r *run) valid(role *yoso.Role, label string, post *rolePost) bool {
 	return r.p.auth.Verify(r.statement(label, role.Name()), post.proof)
 }
 
+// workers resolves the run's worker-pool size (see Params.Workers).
+func (r *run) workers() int { return r.p.params.EffectiveWorkers() }
+
 // committeeStep runs `speak` for every member of a committee and returns
 // the map of verified posts (index → payload). Members whose proofs fail or
 // who never spoke are recorded in r.excluded. After the step the committee
 // receives the Spoke token.
 //
-// Members execute concurrently — they are independent machines, and the
-// per-role work (threshold exponentiations, envelope encryptions) dominates
-// real-backend wall clock. The board serializes postings internally; the
-// verified/excluded bookkeeping is joined after all members finish.
+// Members execute on the run's worker pool — they are independent machines,
+// and the per-role work (threshold exponentiations, envelope encryptions)
+// dominates real-backend wall clock. The first member error cancels the
+// remaining members and aborts the step. The board serializes postings
+// internally; results stay slot-indexed, so the verified/excluded
+// bookkeeping (joined after all members finish, in member order) and the
+// metered byte counts are independent of the worker count.
 func (r *run) committeeStep(c *yoso.Committee, phase comm.Phase, cat comm.Category, label string,
 	honest func(i int) (sized, error), malicious func(i int) sized) (map[int]any, error) {
 	if r.ctx != nil {
@@ -266,32 +272,27 @@ func (r *run) committeeStep(c *yoso.Committee, phase comm.Phase, cat comm.Catego
 			return nil, fmt.Errorf("core: %s: %w", label, err)
 		}
 	}
-	type outcome struct {
-		post *rolePost
-		err  error
-	}
-	results := make([]outcome, c.N())
-	var wg sync.WaitGroup
-	for i := 1; i <= c.N(); i++ {
-		wg.Add(1)
-		go func(idx int) {
-			defer wg.Done()
-			post, err := r.speak(c.Role(idx), phase, cat, label,
-				func() (sized, error) { return honest(idx) },
-				func() sized { return malicious(idx) })
-			results[idx-1] = outcome{post: post, err: err}
-		}(i)
-	}
-	wg.Wait()
-	verified := make(map[int]any, c.N())
-	for idx1, res := range results {
-		idx := idx1 + 1
-		if res.err != nil {
-			return nil, res.err
+	results := make([]*rolePost, c.N())
+	err := parallel.For(r.ctx, r.workers(), c.N(), func(idx0 int) error {
+		idx := idx0 + 1
+		post, err := r.speak(c.Role(idx), phase, cat, label,
+			func() (sized, error) { return honest(idx) },
+			func() sized { return malicious(idx) })
+		if err != nil {
+			return err
 		}
+		results[idx0] = post
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	verified := make(map[int]any, c.N())
+	for idx1, post := range results {
+		idx := idx1 + 1
 		role := c.Role(idx)
-		if r.valid(role, label, res.post) {
-			verified[idx] = res.post.payload
+		if r.valid(role, label, post) {
+			verified[idx] = post.payload
 		} else {
 			r.excluded = append(r.excluded, fmt.Sprintf("%s@%s (%s)", role.Name(), label, role.Behavior))
 			r.logStep("role excluded", "role", role.Name(), "step", label, "behavior", role.Behavior.String())

@@ -1,0 +1,105 @@
+// Package parallel is the worker-pool execution engine behind the
+// protocol drivers: bounded, errgroup-style fan-out (first error cancels
+// the remaining work, no goroutine leaks) whose results stay slot-indexed
+// so callers produce output that is byte-for-byte independent of the
+// worker count.
+//
+// The committee-member contribution loops and the driver's "everyone
+// computes" loops (contribution sums, homomorphic packing, opening
+// combination) are embarrassingly parallel per party and per position;
+// this package is how they fan out over the configured number of OS
+// threads without changing what gets posted, metered, or audited.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the worker count an unset (zero) configuration means:
+// one worker per CPU.
+func DefaultWorkers() int { return runtime.NumCPU() }
+
+// Normalize maps a configured worker count to the effective pool size:
+// values below 1 mean DefaultWorkers, 1 means the fully serial path.
+func Normalize(workers int) int {
+	if workers < 1 {
+		return DefaultWorkers()
+	}
+	return workers
+}
+
+// For runs fn(i) for every i in [0, n) on at most `workers` goroutines
+// (after Normalize). The first error cancels the remaining work and is
+// returned after every started call has finished — workers never outlive
+// the call. With one worker the loop runs inline on the caller's
+// goroutine in index order, which is the engine's serial reference path.
+//
+// A nil ctx is treated as context.Background(); a ctx cancelled before or
+// during the loop aborts it with ctx's error.
+func For(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Normalize(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg    sync.WaitGroup
+		once  sync.Once
+		first error
+		next  atomic.Int64
+	)
+	fail := func(err error) {
+		once.Do(func() {
+			first = err
+			cancel()
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := gctx.Err(); err != nil {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		return first
+	}
+	// The parent context may have been cancelled without any fn erroring.
+	return ctx.Err()
+}

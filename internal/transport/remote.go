@@ -54,6 +54,19 @@ type response struct {
 	Error string `json:"error,omitempty"`
 }
 
+// tailBuffer is the per-subscription live-delivery channel capacity.
+const tailBuffer = 256
+
+// subscriber is one live tail subscription. `gapped` is guarded by the
+// Server mutex: post sets it instead of blocking when the channel is full,
+// and the tail loop re-syncs from the entry log before delivering anything
+// further, so a slow tailer still observes every Seq exactly once.
+type subscriber struct {
+	ch     chan Entry
+	conn   net.Conn
+	gapped bool
+}
+
 // Server is a bulletin-board service instance.
 type Server struct {
 	ln    net.Listener
@@ -61,7 +74,7 @@ type Server struct {
 
 	mu      sync.Mutex
 	entries []Entry
-	subs    map[chan Entry]struct{}
+	subs    map[*subscriber]struct{}
 	closed  bool
 
 	wg sync.WaitGroup
@@ -73,7 +86,7 @@ func Serve(ln net.Listener) *Server {
 	s := &Server{
 		ln:    ln,
 		meter: &comm.Meter{},
-		subs:  map[chan Entry]struct{}{},
+		subs:  map[*subscriber]struct{}{},
 	}
 	s.wg.Add(1)
 	go func() {
@@ -112,10 +125,12 @@ func (s *Server) Close() error {
 	err := s.ln.Close()
 	s.mu.Lock()
 	s.closed = true
-	for ch := range s.subs {
-		close(ch)
+	for sub := range s.subs {
+		close(sub.ch)
+		// Unblock a tail loop stuck writing to a stalled client.
+		_ = sub.conn.Close()
 	}
-	s.subs = map[chan Entry]struct{}{}
+	s.subs = map[*subscriber]struct{}{}
 	s.mu.Unlock()
 	s.wg.Wait()
 	return err
@@ -168,10 +183,14 @@ func (s *Server) post(req request) (int, error) {
 		Summary:  req.Summary,
 	}
 	s.entries = append(s.entries, e)
-	for ch := range s.subs {
+	for sub := range s.subs {
 		select {
-		case ch <- e:
-		default: // slow tailer: drop rather than block the board
+		case sub.ch <- e:
+		default:
+			// Slow tailer: never block the board, but never silently lose
+			// the entry either — mark the subscription gapped so its tail
+			// loop re-syncs from the entry log before delivering more.
+			sub.gapped = true
 		}
 	}
 	return e.Seq, nil
@@ -186,29 +205,79 @@ func (s *Server) tail(conn net.Conn, enc *json.Encoder, since int) {
 	if since < 0 {
 		since = 0
 	}
+	next := since // next sequence number owed to this tailer
 	backlog := make([]Entry, 0)
 	if since < len(s.entries) {
 		backlog = append(backlog, s.entries[since:]...)
 	}
-	ch := make(chan Entry, 256)
-	s.subs[ch] = struct{}{}
+	sub := &subscriber{ch: make(chan Entry, tailBuffer), conn: conn}
+	s.subs[sub] = struct{}{}
 	s.mu.Unlock()
 	defer func() {
 		s.mu.Lock()
-		delete(s.subs, ch)
+		delete(s.subs, sub)
 		s.mu.Unlock()
 	}()
+	// Watch for the client going away. Without this, a tail loop with no
+	// incoming posts would block on the subscription channel forever,
+	// pinning the handler goroutine and the connection until server
+	// shutdown. The tailer never sends after its initial request, so any
+	// read completing means the connection is dead.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		buf := make([]byte, 1)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				s.mu.Lock()
+				if _, ok := s.subs[sub]; ok {
+					delete(s.subs, sub)
+					close(sub.ch)
+				}
+				s.mu.Unlock()
+				return
+			}
+		}
+	}()
+	// send delivers e unless it was already delivered via a re-sync
+	// (entries can arrive both on the live channel and in a re-sync
+	// batch; Seq ordering dedupes them).
+	send := func(e Entry) bool {
+		if e.Seq < next {
+			return true
+		}
+		if err := enc.Encode(e); err != nil {
+			return false
+		}
+		next = e.Seq + 1
+		return true
+	}
 	for _, e := range backlog {
-		if err := enc.Encode(e); err != nil {
+		if !send(e) {
 			return
 		}
 	}
-	for e := range ch {
-		if err := enc.Encode(e); err != nil {
+	for e := range sub.ch {
+		// If post ever found the channel full it set gapped: re-read the
+		// authoritative log from `next` so the client still sees every
+		// entry exactly once, in order. A drop implies the channel was
+		// full, so there is always a later receive to reach this check.
+		s.mu.Lock()
+		var resync []Entry
+		if sub.gapped || e.Seq > next {
+			resync = append(resync, s.entries[next:]...)
+			sub.gapped = false
+		}
+		s.mu.Unlock()
+		for _, re := range resync {
+			if !send(re) {
+				return
+			}
+		}
+		if !send(e) {
 			return
 		}
 	}
-	_ = conn
 }
 
 // Client posts entries to a remote board.
@@ -269,6 +338,13 @@ func Tail(addr string, since int) (<-chan Entry, func() error, error) {
 		return nil, nil, fmt.Errorf("transport: starting tail: %w", err)
 	}
 	out := make(chan Entry, 64)
+	done := make(chan struct{})
+	var once sync.Once
+	stop := func() error {
+		err := conn.Close()
+		once.Do(func() { close(done) })
+		return err
+	}
 	go func() {
 		defer close(out)
 		dec := json.NewDecoder(bufio.NewReader(conn))
@@ -277,10 +353,17 @@ func Tail(addr string, since int) (<-chan Entry, func() error, error) {
 			if err := dec.Decode(&e); err != nil {
 				return
 			}
-			out <- e
+			select {
+			case out <- e:
+			case <-done:
+				// The consumer stopped draining and called the closer:
+				// exit instead of blocking on the send forever (which
+				// would leak this goroutine and pin the connection).
+				return
+			}
 		}
 	}()
-	return out, conn.Close, nil
+	return out, stop, nil
 }
 
 // AttachMirror forwards every posting of an in-process board to a remote

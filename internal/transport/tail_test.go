@@ -1,0 +1,115 @@
+package transport
+
+import (
+	"encoding/json"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"yosompc/internal/comm"
+)
+
+// Regression: the Tail reader goroutine used to block forever on `out <- e`
+// when the consumer stopped draining, leaking the goroutine and pinning the
+// TCP connection even after the closer was called.
+func TestTailStopUnblocksReader(t *testing.T) {
+	s := startServer(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// More than the Tail channel capacity (64), so the reader goroutine
+	// ends up blocked mid-send once the consumer stops draining.
+	const posts = 100
+	for i := 0; i < posts; i++ {
+		if _, err := c.Post("r", comm.PhaseOnline, comm.CatMu, 8, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := runtime.NumGoroutine()
+	entries, stop, err := Tail(s.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the reader to fill the channel; by then it is blocked
+	// trying to deliver entry 65 to a consumer that will never read.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(entries) < cap(entries) {
+		if time.Now().After(deadline) {
+			t.Fatalf("tail channel never filled: %d/%d", len(entries), cap(entries))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	// The reader goroutine (and the server-side handler it was connected
+	// to) must exit even though nobody drained the channel.
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked after stop: %d > %d before Tail", runtime.NumGoroutine(), base)
+}
+
+// Regression: Server.post used to silently drop entries for tailers whose
+// channel was full; a slow consumer would see a gap in the sequence and
+// never learn about the lost postings. The board must instead re-sync the
+// subscription from the entry log: every Seq exactly once, in order.
+func TestSlowTailerSeesEverySeq(t *testing.T) {
+	// A synchronous pipe (no socket buffering) makes the tail loop block
+	// on its first write, so posts deterministically overflow the
+	// subscription channel and exercise the gapped/re-sync path.
+	s := &Server{meter: &comm.Meter{}, subs: map[*subscriber]struct{}{}}
+	srv, cli := net.Pipe()
+	defer srv.Close()
+	defer cli.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.tail(srv, json.NewEncoder(srv), 0)
+	}()
+
+	// Overflow the subscription channel (capacity tailBuffer) while the
+	// consumer reads nothing: the excess posts must mark the sub gapped.
+	const posts = 3 * tailBuffer
+	for i := 0; i < posts; i++ {
+		if _, err := s.post(request{Op: "post", From: "r", Phase: "online", Category: "mu", Size: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dec := json.NewDecoder(cli)
+	for want := 0; want < posts; want++ {
+		var e Entry
+		if err := dec.Decode(&e); err != nil {
+			t.Fatalf("decode entry %d: %v", want, err)
+		}
+		if e.Seq != want {
+			t.Fatalf("entry %d has seq %d (gap or duplicate)", want, e.Seq)
+		}
+	}
+
+	// The subscription must still be live for later posts.
+	if _, err := s.post(request{Op: "post", From: "r", Phase: "online", Category: "mu", Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var e Entry
+	if err := dec.Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Seq != posts {
+		t.Fatalf("post after drain has seq %d, want %d", e.Seq, posts)
+	}
+
+	cli.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("tail loop did not exit after connection close")
+	}
+}

@@ -136,6 +136,12 @@ type Config struct {
 	// (metadata + sizes) to a boardd server at this address, so remote
 	// observers can audit the run (`boardd -watch`).
 	MirrorAddr string
+	// Workers bounds the worker-pool parallelism of the execution engine
+	// (committee-member fan-out and the driver's homomorphic-evaluation
+	// loops). 0 means one worker per CPU; 1 forces the serial path. The
+	// communication report and audit totals are identical for every value
+	// — only wall clock changes.
+	Workers int
 }
 
 // Report re-exports the communication report type.
@@ -159,7 +165,7 @@ func (c Config) coreParams() (core.Params, error) {
 	if c.Malicious > 0 || c.FailStops > 0 || c.Leaky > 0 {
 		adv = &yoso.Adversary{Malicious: c.Malicious, FailStops: c.FailStops, Leaky: c.Leaky, Seed: c.Seed}
 	}
-	params := core.Params{N: c.N, T: c.T, K: c.K, Adversary: adv, Robust: c.Robust}
+	params := core.Params{N: c.N, T: c.T, K: c.K, Adversary: adv, Robust: c.Robust, Workers: c.Workers}
 	switch c.Backend {
 	case Real:
 		te, err := tte.NewThreshold(paillier.FixedTestKey(0))
