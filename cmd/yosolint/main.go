@@ -1,0 +1,69 @@
+// Command yosolint runs the repo's static-analysis suite: custom
+// analyzers enforcing the crypto and YOSO invariants the compiler cannot
+// check (crypto/rand for secret randomness, speak-once role discipline,
+// reduction-preserving field arithmetic, handled board errors).
+//
+// Usage:
+//
+//	go run ./cmd/yosolint [-tests=false] [-list] [packages]
+//
+// Packages default to ./... relative to the current directory. The exit
+// status is 0 when the tree is clean, 1 when any diagnostic is reported,
+// and 2 on load or internal errors. See docs/STATIC_ANALYSIS.md for the
+// analyzer catalogue and the //yosolint: directive syntax.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"yosompc/internal/analysis"
+	"yosompc/internal/analysis/suite"
+)
+
+func main() {
+	tests := flag.Bool("tests", true, "also analyze _test.go files")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	analyzers := suite.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(analysis.LoadConfig{Tests: *tests}, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "yosolint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.RunPackages(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "yosolint:", err)
+		os.Exit(2)
+	}
+	if len(diags) == 0 {
+		return
+	}
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: %s (%s)\n", name, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+	fmt.Fprintf(os.Stderr, "yosolint: %d finding(s)\n", len(diags))
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDriverFlagsFixture is the end-to-end regression test for the whole
+// driver: yosolint run against a fixture package containing one violation
+// of each analyzer must exit non-zero and report all four.
+func TestDriverFlagsFixture(t *testing.T) {
+	root := moduleRoot(t)
+	cmd := exec.Command("go", "run", "./cmd/yosolint", "./cmd/yosolint/testdata/e2e/sharing")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("yosolint exited zero on a fixture with known violations\noutput:\n%s", out)
+	}
+	exit, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running yosolint: %v\noutput:\n%s", err, out)
+	}
+	if code := exit.ExitCode(); code != 1 {
+		t.Fatalf("exit code = %d, want 1 (findings)\noutput:\n%s", code, out)
+	}
+	for _, analyzer := range []string{"cryptorand", "fieldops", "roleonce", "postcheck"} {
+		if !strings.Contains(string(out), "("+analyzer+")") {
+			t.Errorf("output missing a %s finding:\n%s", analyzer, out)
+		}
+	}
+}
+
+// TestDriverCleanOnRepo asserts the acceptance criterion that the full
+// repository lints clean.
+func TestDriverCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide lint walk skipped in -short mode")
+	}
+	root := moduleRoot(t)
+	cmd := exec.Command("go", "run", "./cmd/yosolint", "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("yosolint ./... failed: %v\noutput:\n%s", err, out)
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal(fmt.Errorf("no go.mod above %s", dir))
+		}
+		dir = parent
+	}
+}

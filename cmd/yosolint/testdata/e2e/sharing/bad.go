@@ -1,0 +1,36 @@
+// Package sharing is the end-to-end regression fixture for cmd/yosolint:
+// one compiling file violating every analyzer in the suite. The driver
+// must exit non-zero and name all four analyzers when pointed here. The
+// directory is named "sharing" so the cryptorand protected-segment rule
+// applies; testdata placement keeps it out of ./... wildcard runs.
+package sharing
+
+import (
+	"math/rand"
+
+	"yosompc/internal/comm"
+	"yosompc/internal/field"
+	"yosompc/internal/transport"
+	"yosompc/internal/yoso"
+)
+
+// BadRandom violates cryptorand: protocol randomness from math/rand.
+func BadRandom() field.Element {
+	return field.New(uint64(rand.Int63()))
+}
+
+// BadFieldOps violates fieldops: raw operator skips reduction.
+func BadFieldOps(a, b field.Element) field.Element {
+	return a + b
+}
+
+// BadRoleReuse violates roleonce: the role acts after it spoke.
+func BadRoleReuse(r *yoso.Role) {
+	r.Spoke()
+	r.Post(comm.PhaseOnline, comm.CatInput, 8, "late")
+}
+
+// BadDroppedError violates postcheck: the board error vanishes.
+func BadDroppedError(c *transport.Client) {
+	c.Close()
+}

@@ -1,0 +1,82 @@
+// Package analysis is a small, dependency-free static-analysis framework
+// modelled on golang.org/x/tools/go/analysis. The toolchain image this
+// repository builds in carries no third-party modules, so the framework is
+// implemented directly on the standard library: packages are discovered
+// and compiled with `go list -export`, dependencies are imported from the
+// build cache's export data via go/importer, and target packages are
+// type-checked from source with go/types.
+//
+// The framework exists to host yosolint, the suite of repo-specific
+// analyzers under internal/analysis/{cryptorand,roleonce,fieldops,
+// postcheck} that enforce invariants the Go compiler cannot: secret
+// randomness comes from crypto/rand, YOSO roles never act after they
+// speak, field.Element arithmetic goes through the reduction-preserving
+// API, and board/transport errors are never silently dropped.
+//
+// Diagnostics can be suppressed per line with //yosolint: directives (see
+// ParseDirectives and docs/STATIC_ANALYSIS.md).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, e.g. "cryptorand".
+	Name string
+	// Doc is a short description of the invariant the analyzer enforces.
+	Doc string
+	// Directives lists the //yosolint: directive names that suppress this
+	// analyzer's diagnostics when present on the offending line. Every
+	// analyzer should include "ignore"; analyzers with a domain-specific
+	// escape hatch (e.g. cryptorand's "simulation") list it here too.
+	Directives []string
+	// Run executes the analyzer on one package, reporting findings
+	// through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+	// Fset maps positions for every file of the package.
+	Fset *token.FileSet
+	// Files are the parsed source files, including in-package _test.go
+	// files when the load requested them.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo records type and object resolution for Files.
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, with its position already resolved.
+type Diagnostic struct {
+	// Analyzer names the analyzer that produced the finding.
+	Analyzer string
+	// Pos locates the finding.
+	Pos token.Position
+	// Message describes the violation.
+	Message string
+}
+
+// String formats the diagnostic in the conventional file:line:col style.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}

@@ -1,0 +1,12 @@
+package cryptorand_test
+
+import (
+	"testing"
+
+	"yosompc/internal/analysis/analysistest"
+	"yosompc/internal/analysis/cryptorand"
+)
+
+func TestCryptoRand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), cryptorand.Analyzer, "sharing")
+}

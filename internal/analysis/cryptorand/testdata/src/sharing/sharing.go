@@ -1,0 +1,32 @@
+// Package sharing is a cryptorand fixture: its import path carries the
+// crypto-bearing segment "sharing", so math/rand is forbidden outside
+// test files and //yosolint:simulation-annotated lines.
+package sharing
+
+import (
+	crand "crypto/rand"
+	"math/rand" // want `crypto-bearing package .* imports math/rand`
+)
+
+// SecretByte draws secret randomness the legal way.
+func SecretByte() (byte, error) {
+	var b [1]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// BadNonce draws protocol randomness from a seeded PRNG.
+func BadNonce() int64 {
+	return rand.Int63() // want `use of math/rand\.Int63 in crypto-bearing package`
+}
+
+// SimulatedCorruption is legal: the line carries a justified directive.
+func SimulatedCorruption(n int) []int {
+	rng := rand.New(rand.NewSource(1)) //yosolint:simulation fixture models adversarial corruption sampling
+	return rng.Perm(n)
+}
+
+//yosolint:simulation a standalone directive covers the following line
+func SimulatedCoin() int64 { return rand.Int63() }

@@ -1,0 +1,6 @@
+package sharing
+
+import "math/rand"
+
+// Test files may use deterministic randomness freely: no diagnostics here.
+func helperForTests() int { return rand.Intn(4) }

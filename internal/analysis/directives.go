@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one //yosolint: comment directive.
+//
+// Syntax: `//yosolint:NAME justification...` — no space before NAME, and a
+// non-empty justification is mandatory (the runner reports reason-less and
+// unknown directives as findings of their own, so an escape hatch can never
+// be used silently).
+//
+// Placement: a directive written as a trailing comment suppresses matching
+// diagnostics on its own line; a directive on a line of its own suppresses
+// them on the next line.
+type Directive struct {
+	// Name is the directive keyword, e.g. "simulation" or "ignore".
+	Name string
+	// Reason is the justification text following the keyword.
+	Reason string
+	// Pos is the position of the directive comment.
+	Pos token.Pos
+	// Line is the source line the directive applies to.
+	Line int
+}
+
+// KnownDirectives are the accepted //yosolint: keywords.
+//
+//   - simulation: the flagged randomness is simulation/adversary modelling,
+//     not secret protocol randomness (honored by cryptorand).
+//   - ignore: blanket per-line suppression, honored by every analyzer.
+var KnownDirectives = map[string]bool{
+	"simulation": true,
+	"ignore":     true,
+}
+
+const directivePrefix = "//yosolint:"
+
+// ParseDirectives extracts the //yosolint: directives of one parsed file.
+// src must be the file's source bytes (used to decide whether a directive
+// is trailing code on its line or stands alone).
+func ParseDirectives(fset *token.FileSet, file *ast.File, src []byte) []Directive {
+	var out []Directive
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, directivePrefix)
+			name, reason, _ := strings.Cut(rest, " ")
+			pos := fset.Position(c.Pos())
+			line := pos.Line
+			if standsAlone(fset, c.Pos(), src) {
+				line++
+			}
+			out = append(out, Directive{
+				Name:   strings.TrimSpace(name),
+				Reason: strings.TrimSpace(reason),
+				Pos:    c.Pos(),
+				Line:   line,
+			})
+		}
+	}
+	return out
+}
+
+// standsAlone reports whether only whitespace precedes pos on its line.
+func standsAlone(fset *token.FileSet, pos token.Pos, src []byte) bool {
+	tf := fset.File(pos)
+	if tf == nil {
+		return false
+	}
+	off := tf.Offset(pos)
+	start := tf.Offset(tf.LineStart(tf.Line(pos)))
+	if start < 0 || off > len(src) {
+		return false
+	}
+	return len(strings.TrimSpace(string(src[start:off]))) == 0
+}
+
+// directiveIndex maps filename → line → directives applying to that line.
+type directiveIndex map[string]map[int][]Directive
+
+func indexDirectives(pkg *Package) (directiveIndex, []Diagnostic) {
+	idx := directiveIndex{}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		pos := pkg.Fset.Position(f.Pos())
+		src := pkg.Sources[pos.Filename]
+		for _, d := range ParseDirectives(pkg.Fset, f, src) {
+			dpos := pkg.Fset.Position(d.Pos)
+			if !KnownDirectives[d.Name] {
+				diags = append(diags, Diagnostic{
+					Analyzer: "yosolint",
+					Pos:      dpos,
+					Message:  "unknown //yosolint: directive " + strconvQuote(d.Name),
+				})
+				continue
+			}
+			if d.Reason == "" {
+				diags = append(diags, Diagnostic{
+					Analyzer: "yosolint",
+					Pos:      dpos,
+					Message:  "//yosolint:" + d.Name + " directive requires a justifying comment",
+				})
+				continue
+			}
+			byLine := idx[dpos.Filename]
+			if byLine == nil {
+				byLine = map[int][]Directive{}
+				idx[dpos.Filename] = byLine
+			}
+			byLine[d.Line] = append(byLine[d.Line], d)
+		}
+	}
+	return idx, diags
+}
+
+// suppresses reports whether a directive at the diagnostic's line covers the
+// given analyzer.
+func (idx directiveIndex) suppresses(a *Analyzer, d Diagnostic) bool {
+	byLine := idx[d.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, dir := range byLine[d.Pos.Line] {
+		for _, name := range a.Directives {
+			if dir.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func strconvQuote(s string) string { return `"` + s + `"` }

@@ -1,0 +1,12 @@
+package fieldops_test
+
+import (
+	"testing"
+
+	"yosompc/internal/analysis/analysistest"
+	"yosompc/internal/analysis/fieldops"
+)
+
+func TestFieldOps(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), fieldops.Analyzer, "fieldops")
+}

@@ -1,0 +1,28 @@
+// Package fieldops is a fieldops fixture: raw operators on field.Element
+// outside internal/field must be flagged; the method API and raw ops on
+// ordinary integers stay legal.
+package fieldops
+
+import "yosompc/internal/field"
+
+// Bad applies raw operators that silently skip modular reduction.
+func Bad(a, b field.Element) field.Element {
+	c := a + b // want `raw \+ on field.Element skips modular reduction; use Add`
+	c = c * b  // want `raw \* on field.Element skips modular reduction; use Mul`
+	c -= a     // want `raw -= on field.Element skips modular reduction; use Sub`
+	d := a / b // want `raw / on field.Element skips modular reduction; use Div`
+	_ = a % b  // want `raw % on field.Element skips modular reduction`
+	c++        // want `raw \+\+ on field.Element skips modular reduction`
+	return c.Add(d)
+}
+
+// Good uses the reduction-preserving API.
+func Good(a, b field.Element) field.Element {
+	return a.Add(b).Mul(b.Sub(a))
+}
+
+// Unrelated arithmetic on plain integers is untouched.
+func Unrelated(x, y uint64) uint64 { return x*y + y%3 }
+
+// Raw comparison operators stay legal: Element is canonical, == is exact.
+func Equal(a, b field.Element) bool { return a == b }

@@ -1,0 +1,12 @@
+package postcheck_test
+
+import (
+	"testing"
+
+	"yosompc/internal/analysis/analysistest"
+	"yosompc/internal/analysis/postcheck"
+)
+
+func TestPostCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), postcheck.Analyzer, "postcheck")
+}

@@ -1,0 +1,12 @@
+package roleonce_test
+
+import (
+	"testing"
+
+	"yosompc/internal/analysis/analysistest"
+	"yosompc/internal/analysis/roleonce"
+)
+
+func TestRoleOnce(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), roleonce.Analyzer, "roleonce")
+}

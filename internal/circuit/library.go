@@ -2,7 +2,7 @@ package circuit
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand" //yosolint:simulation seeded benchmark-circuit generator; carries no secrets
 
 	"yosompc/internal/field"
 )
@@ -147,7 +147,9 @@ func Random(nInputs, nGates int, seed int64) (*Circuit, error) {
 	if nInputs < 2 {
 		return nil, fmt.Errorf("circuit: random circuit needs ≥ 2 inputs, got %d", nInputs)
 	}
-	rng := rand.New(rand.NewSource(seed))
+	// Deliberately deterministic in seed so failing circuits reproduce;
+	// circuit topology is public data, never secret randomness.
+	rng := rand.New(rand.NewSource(seed)) //yosolint:simulation reproducible public test-circuit topology
 	b := NewBuilder()
 	wires := make([]WireID, 0, nInputs+nGates)
 	for i := 0; i < nInputs; i++ {

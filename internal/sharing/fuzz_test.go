@@ -1,0 +1,94 @@
+package sharing
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"yosompc/internal/field"
+)
+
+// FuzzShamirRoundTrip checks the share→reconstruct identity over fuzzed
+// parameters: packed sharings with arbitrary packing factor k, degree d
+// and committee size n (subject to the validity constraints k-1 ≤ d ≤ n-1),
+// reconstruction both from a minimal share subset and from the full set,
+// and detection of a corrupted share whenever redundant shares exist. It
+// complements the field and circuit fuzzers with coverage of the packing
+// layer itself.
+func FuzzShamirRoundTrip(f *testing.F) {
+	f.Add(uint8(1), uint8(0), uint8(1), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint8(4), uint8(7), uint8(16), []byte{0xff, 0xee, 0xdd, 0xcc})
+	f.Add(uint8(2), uint8(3), uint8(5), []byte{})
+	f.Add(uint8(9), uint8(200), uint8(255), []byte{9, 9, 9, 9, 9, 9, 9, 9, 1})
+	f.Fuzz(func(t *testing.T, kRaw, dRaw, nRaw uint8, data []byte) {
+		// Derive valid parameters: 1 ≤ n ≤ 32, k-1 ≤ d ≤ n-1, 1 ≤ k ≤ d+1.
+		n := 1 + int(nRaw)%32
+		d := int(dRaw) % n
+		k := 1 + int(kRaw)%(d+1)
+
+		secrets := make([]field.Element, k)
+		for j := range secrets {
+			var chunk [8]byte
+			copy(chunk[:], data[min(8*j, len(data)):])
+			secrets[j] = field.New(binary.LittleEndian.Uint64(chunk[:]))
+		}
+
+		shares, err := SharePacked(secrets, d, n)
+		if err != nil {
+			t.Fatalf("SharePacked(k=%d d=%d n=%d): %v", k, d, n, err)
+		}
+		if len(shares) != n {
+			t.Fatalf("got %d shares, want n=%d", len(shares), n)
+		}
+
+		// Reconstruct from all n shares: the extras double as a consistency
+		// check, which must pass for an honest sharing.
+		got, err := ReconstructPacked(shares, d, k)
+		if err != nil {
+			t.Fatalf("ReconstructPacked(all): %v", err)
+		}
+		assertSecrets(t, secrets, got, "full share set")
+
+		// Reconstruct from the minimal subset, taken from the tail so the
+		// indices are not simply 1..d+1.
+		minimal := shares[n-(d+1):]
+		got, err = ReconstructPacked(minimal, d, k)
+		if err != nil {
+			t.Fatalf("ReconstructPacked(minimal tail): %v", err)
+		}
+		assertSecrets(t, secrets, got, "minimal share subset")
+
+		// Standard Shamir is the k=1 packed case.
+		if k == 1 {
+			secret, err := ReconstructStandard(shares, d)
+			if err != nil {
+				t.Fatalf("ReconstructStandard: %v", err)
+			}
+			if secret != secrets[0] {
+				t.Fatalf("standard reconstruction = %v, want %v", secret, secrets[0])
+			}
+		}
+
+		// With redundant shares present, corrupting one must be detected.
+		if n > d+1 {
+			tampered := make([]Share, n)
+			copy(tampered, shares)
+			tampered[0].Value = tampered[0].Value.Add(field.One)
+			if _, err := ReconstructPacked(tampered, d, k); !errors.Is(err, ErrInconsistentShares) {
+				t.Fatalf("corrupted share went undetected (err=%v)", err)
+			}
+		}
+	})
+}
+
+func assertSecrets(t *testing.T, want, got []field.Element, from string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d secrets, want %d", from, len(got), len(want))
+	}
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("%s: secret %d = %v, want %v", from, j, got[j], want[j])
+		}
+	}
+}

@@ -2,7 +2,7 @@ package yoso
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand" //yosolint:simulation adversary corruption sampling only; role keys come from pke.Scheme/crypto-rand
 
 	"yosompc/internal/comm"
 	"yosompc/internal/pke"
@@ -89,7 +89,11 @@ type Adversary struct {
 	Leaky int
 	// Seed makes corruption patterns reproducible; 0 uses a fixed seed.
 	Seed int64
-	rng  *rand.Rand
+	// rng drives which roles the simulated adversary corrupts. This is
+	// environment modelling (Definition 1), not protocol randomness: a
+	// deterministic, seedable source is required so experiments reproduce,
+	// and no honest-party secret ever depends on it.
+	rng *rand.Rand //yosolint:simulation deterministic adversary model, reproducible by Seed
 }
 
 // NewAdversary builds an adversary corrupting `malicious` roles actively
@@ -107,7 +111,7 @@ func (a *Adversary) Sample(n int) []Behavior {
 		if seed == 0 {
 			seed = 0x59050 // arbitrary fixed default for reproducibility
 		}
-		a.rng = rand.New(rand.NewSource(seed))
+		a.rng = rand.New(rand.NewSource(seed)) //yosolint:simulation adversary corruption pattern, not secret randomness
 	}
 	out := make([]Behavior, n)
 	perm := a.rng.Perm(n)
