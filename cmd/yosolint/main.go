@@ -1,19 +1,28 @@
 // Command yosolint runs the repo's static-analysis suite: custom
 // analyzers enforcing the crypto and YOSO invariants the compiler cannot
 // check (crypto/rand for secret randomness, speak-once role discipline,
-// reduction-preserving field arithmetic, handled board errors).
+// reduction-preserving field arithmetic, handled board errors, and
+// secretflow's interprocedural secret-taint tracking).
 //
 // Usage:
 //
-//	go run ./cmd/yosolint [-tests=false] [-list] [packages]
+//	go run ./cmd/yosolint [-tests=false] [-list] [-json] [-directives] [packages]
 //
 // Packages default to ./... relative to the current directory. The exit
-// status is 0 when the tree is clean, 1 when any diagnostic is reported,
-// and 2 on load or internal errors. See docs/STATIC_ANALYSIS.md for the
-// analyzer catalogue and the //yosolint: directive syntax.
+// status is 0 when the tree is clean, 1 when any unsuppressed diagnostic
+// (including a malformed //yosolint: directive) is reported, and 2 on
+// load or internal errors.
+//
+// -json emits one JSON object per diagnostic per line, including
+// suppressed findings with the justification of the directive covering
+// them, for CI artifact upload and audit. -directives lists the active
+// suppressions — every finding currently silenced by a //yosolint:
+// directive — and exits 0. See docs/STATIC_ANALYSIS.md for the analyzer
+// catalogue and the directive syntax.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +36,8 @@ import (
 func main() {
 	tests := flag.Bool("tests", true, "also analyze _test.go files")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit one JSON diagnostic per line, including suppressed findings")
+	directives := flag.Bool("directives", false, "list the active //yosolint: suppressions and exit")
 	flag.Parse()
 
 	analyzers := suite.Analyzers()
@@ -41,7 +52,10 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := analysis.Load(analysis.LoadConfig{Tests: *tests}, patterns...)
+	// Deps:true feeds module-level analyzers (secretflow) the summaries
+	// and secret-type annotations of in-module dependencies even when the
+	// pattern names a single package.
+	pkgs, err := analysis.Load(analysis.LoadConfig{Tests: *tests, Deps: true}, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "yosolint:", err)
 		os.Exit(2)
@@ -51,19 +65,70 @@ func main() {
 		fmt.Fprintln(os.Stderr, "yosolint:", err)
 		os.Exit(2)
 	}
-	if len(diags) == 0 {
+	failing := analysis.Unsuppressed(diags)
+
+	switch {
+	case *directives:
+		for _, d := range diags {
+			if !d.Suppressed {
+				continue
+			}
+			fmt.Printf("%s:%d:%d: [%s] suppressed: %s — %s\n",
+				relPath(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message, d.Justification)
+		}
 		return
-	}
-	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		name := d.Pos.Filename
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-				name = rel
+
+	case *jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			rec := jsonDiagnostic{
+				File:          relPath(d.Pos.Filename),
+				Line:          d.Pos.Line,
+				Column:        d.Pos.Column,
+				Analyzer:      d.Analyzer,
+				Message:       d.Message,
+				Suppressed:    d.Suppressed,
+				Justification: d.Justification,
+			}
+			if err := enc.Encode(rec); err != nil {
+				fmt.Fprintln(os.Stderr, "yosolint:", err)
+				os.Exit(2)
 			}
 		}
-		fmt.Printf("%s:%d:%d: %s (%s)\n", name, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+
+	default:
+		for _, d := range failing {
+			fmt.Printf("%s:%d:%d: %s (%s)\n", relPath(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+		}
 	}
-	fmt.Fprintf(os.Stderr, "yosolint: %d finding(s)\n", len(diags))
-	os.Exit(1)
+
+	if len(failing) > 0 {
+		fmt.Fprintf(os.Stderr, "yosolint: %d finding(s)\n", len(failing))
+		os.Exit(1)
+	}
+}
+
+// jsonDiagnostic is the -json line format: one diagnostic per line, with
+// suppressed findings carrying the justification of their directive.
+type jsonDiagnostic struct {
+	File          string `json:"file"`
+	Line          int    `json:"line"`
+	Column        int    `json:"column"`
+	Analyzer      string `json:"analyzer"`
+	Message       string `json:"message"`
+	Suppressed    bool   `json:"suppressed"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// relPath renders a filename relative to the working directory when it
+// lies beneath it.
+func relPath(name string) string {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return name
+	}
+	if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return name
 }

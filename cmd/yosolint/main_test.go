@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/exec"
@@ -9,28 +12,106 @@ import (
 	"testing"
 )
 
-// TestDriverFlagsFixture is the end-to-end regression test for the whole
-// driver: yosolint run against a fixture package containing one violation
-// of each analyzer must exit non-zero and report all four.
-func TestDriverFlagsFixture(t *testing.T) {
-	root := moduleRoot(t)
-	cmd := exec.Command("go", "run", "./cmd/yosolint", "./cmd/yosolint/testdata/e2e/sharing")
-	cmd.Dir = root
+// runYosolint runs the driver from the module root and returns combined
+// output and exit code (-1 for non-exit errors).
+func runYosolint(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "./cmd/yosolint"}, args...)...)
+	cmd.Dir = moduleRoot(t)
 	out, err := cmd.CombinedOutput()
 	if err == nil {
-		t.Fatalf("yosolint exited zero on a fixture with known violations\noutput:\n%s", out)
+		return string(out), 0
 	}
-	exit, ok := err.(*exec.ExitError)
-	if !ok {
-		t.Fatalf("running yosolint: %v\noutput:\n%s", err, out)
+	if exit, ok := err.(*exec.ExitError); ok {
+		return string(out), exit.ExitCode()
 	}
-	if code := exit.ExitCode(); code != 1 {
+	t.Fatalf("running yosolint %v: %v\noutput:\n%s", args, err, out)
+	return "", -1
+}
+
+// TestDriverFlagsFixture is the end-to-end regression test for the whole
+// driver: yosolint run against a fixture package containing one violation
+// of each analyzer must exit non-zero and report all five.
+func TestDriverFlagsFixture(t *testing.T) {
+	out, code := runYosolint(t, "./cmd/yosolint/testdata/e2e/sharing")
+	if code != 1 {
 		t.Fatalf("exit code = %d, want 1 (findings)\noutput:\n%s", code, out)
 	}
-	for _, analyzer := range []string{"cryptorand", "fieldops", "roleonce", "postcheck"} {
-		if !strings.Contains(string(out), "("+analyzer+")") {
+	for _, analyzer := range []string{"cryptorand", "fieldops", "roleonce", "postcheck", "secretflow"} {
+		if !strings.Contains(out, "("+analyzer+")") {
 			t.Errorf("output missing a %s finding:\n%s", analyzer, out)
 		}
+	}
+}
+
+// TestDriverMalformedDirectives asserts that an unknown directive name and
+// a justification-less suppression each fail the run on their own.
+func TestDriverMalformedDirectives(t *testing.T) {
+	out, code := runYosolint(t, "./cmd/yosolint/testdata/e2e/baddirective")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (malformed directives)\noutput:\n%s", code, out)
+	}
+	if !strings.Contains(out, "unknown //yosolint: directive") {
+		t.Errorf("output missing unknown-directive finding:\n%s", out)
+	}
+	if !strings.Contains(out, "requires a justifying comment") {
+		t.Errorf("output missing missing-justification finding:\n%s", out)
+	}
+}
+
+// TestDriverDeclassified asserts the suppression path end to end: a
+// justified declassify keeps the run clean, -directives lists the active
+// suppression, and -json preserves it with its justification.
+func TestDriverDeclassified(t *testing.T) {
+	target := "./cmd/yosolint/testdata/e2e/declassified"
+
+	out, code := runYosolint(t, target)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (declassified finding)\noutput:\n%s", code, out)
+	}
+
+	out, code = runYosolint(t, "-directives", target)
+	if code != 0 {
+		t.Fatalf("-directives exit code = %d, want 0\noutput:\n%s", code, out)
+	}
+	if !strings.Contains(out, "[secretflow] suppressed") || !strings.Contains(out, "by design") {
+		t.Errorf("-directives output missing the active suppression with its justification:\n%s", out)
+	}
+
+	out, code = runYosolint(t, "-json", target)
+	if code != 0 {
+		t.Fatalf("-json exit code = %d, want 0\noutput:\n%s", code, out)
+	}
+	var found bool
+	sc := bufio.NewScanner(bytes.NewReader([]byte(out)))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || !strings.HasPrefix(line, "{") {
+			continue
+		}
+		var rec struct {
+			File          string `json:"file"`
+			Line          int    `json:"line"`
+			Analyzer      string `json:"analyzer"`
+			Message       string `json:"message"`
+			Suppressed    bool   `json:"suppressed"`
+			Justification string `json:"justification"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("-json produced a non-JSON line %q: %v", line, err)
+		}
+		if rec.Analyzer == "secretflow" && rec.Suppressed {
+			found = true
+			if rec.Justification == "" {
+				t.Error("-json suppressed record carries no justification")
+			}
+			if rec.File == "" || rec.Line == 0 {
+				t.Errorf("-json record missing position: %+v", rec)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("-json output contains no suppressed secretflow record:\n%s", out)
 	}
 }
 

@@ -1,0 +1,10 @@
+// Package baddirective is the end-to-end fixture for directive
+// validation: an unknown directive name and a justification-less
+// suppression must each fail the run on their own, even though the code
+// violates no analyzer.
+package baddirective
+
+//yosolint:frobnicate because reasons
+var a = 1
+
+var b = 2 //yosolint:ignore

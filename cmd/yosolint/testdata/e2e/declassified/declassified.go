@@ -1,0 +1,16 @@
+// Package declassified is the end-to-end fixture for justified
+// suppression: a real secretflow finding covered by a declassify
+// directive. The driver must exit zero here, list the suppression under
+// -directives, and include it with its justification in -json output.
+package declassified
+
+import (
+	"fmt"
+
+	"yosompc/internal/sharing"
+)
+
+// Output prints the protocol's reconstructed output value.
+func Output(sh sharing.Share) {
+	fmt.Println("reconstructed output", sh.Value) //yosolint:declassify output step reveals the reconstructed value by design
+}

@@ -1,15 +1,17 @@
 // Package sharing is the end-to-end regression fixture for cmd/yosolint:
 // one compiling file violating every analyzer in the suite. The driver
-// must exit non-zero and name all four analyzers when pointed here. The
+// must exit non-zero and name all five analyzers when pointed here. The
 // directory is named "sharing" so the cryptorand protected-segment rule
 // applies; testdata placement keeps it out of ./... wildcard runs.
 package sharing
 
 import (
+	"log"
 	"math/rand"
 
 	"yosompc/internal/comm"
 	"yosompc/internal/field"
+	realsharing "yosompc/internal/sharing"
 	"yosompc/internal/transport"
 	"yosompc/internal/yoso"
 )
@@ -33,4 +35,9 @@ func BadRoleReuse(r *yoso.Role) {
 // BadDroppedError violates postcheck: the board error vanishes.
 func BadDroppedError(c *transport.Client) {
 	c.Close()
+}
+
+// BadShareLog violates secretflow: a secret share reaches a logging sink.
+func BadShareLog(sh realsharing.Share) {
+	log.Printf("dealt share %v", sh)
 }

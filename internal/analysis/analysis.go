@@ -24,7 +24,8 @@ import (
 	"go/types"
 )
 
-// Analyzer is one named check over a type-checked package.
+// Analyzer is one named check over a type-checked package (Run) or over a
+// whole load of packages at once (RunModule).
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics, e.g. "cryptorand".
 	Name string
@@ -33,11 +34,23 @@ type Analyzer struct {
 	// Directives lists the //yosolint: directive names that suppress this
 	// analyzer's diagnostics when present on the offending line. Every
 	// analyzer should include "ignore"; analyzers with a domain-specific
-	// escape hatch (e.g. cryptorand's "simulation") list it here too.
+	// escape hatch (e.g. cryptorand's "simulation", secretflow's
+	// "declassify") list it here too.
 	Directives []string
+	// Markers lists //yosolint: directive names the analyzer consumes as
+	// source annotations rather than suppressions (e.g. secretflow's
+	// "secret"). They never suppress anything, but registering them here
+	// keeps the runner's unknown-directive validation in sync with what
+	// the suite actually honors.
+	Markers []string
 	// Run executes the analyzer on one package, reporting findings
-	// through the pass.
+	// through the pass. Nil for module-level analyzers.
 	Run func(*Pass) error
+	// RunModule, if non-nil, executes the analyzer once over every package
+	// of a load (dependency order, dependencies first) instead of
+	// package-by-package. Interprocedural analyses that need bottom-up
+	// call-graph summaries (secretflow) use this hook.
+	RunModule func(*ModulePass) error
 }
 
 // Pass carries one analyzer's view of one type-checked package.
@@ -66,6 +79,32 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ModulePass carries a module-level analyzer's view of one whole Load:
+// every package, dependencies before dependents, including packages loaded
+// only as dependency context (Package.DepOnly).
+type ModulePass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+	// Fset maps positions for every file of every package of the load.
+	Fset *token.FileSet
+	// Packages are the loaded packages in dependency order. Analyzers
+	// must report findings only against packages with DepOnly == false;
+	// DepOnly packages exist to source dataflow summaries and secret-type
+	// annotations.
+	Packages []*Package
+
+	report func(Diagnostic)
+}
+
+// Reportf reports a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Diagnostic is one finding, with its position already resolved.
 type Diagnostic struct {
 	// Analyzer names the analyzer that produced the finding.
@@ -74,6 +113,13 @@ type Diagnostic struct {
 	Pos token.Position
 	// Message describes the violation.
 	Message string
+	// Suppressed records that a //yosolint: directive on the finding's
+	// line covers it. Suppressed findings do not fail a lint run but are
+	// preserved so drivers can audit the active escape hatches (the
+	// cmd/yosolint -json output includes them with their justification).
+	Suppressed bool
+	// Justification is the directive's mandatory reason when Suppressed.
+	Justification string
 }
 
 // String formats the diagnostic in the conventional file:line:col style.

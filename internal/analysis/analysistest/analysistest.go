@@ -51,7 +51,11 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
 	}
 	for _, pkg := range pkgs {
 		fixture := filepath.Join(dir, "src", pkg)
-		loaded, err := analysis.Load(analysis.LoadConfig{Dir: root, Tests: true}, fixture)
+		// Deps:true source-loads fixture helper packages (and any real
+		// module packages the fixture imports) so module-level analyzers
+		// get cross-package summaries, exactly as the cmd/yosolint driver
+		// does.
+		loaded, err := analysis.Load(analysis.LoadConfig{Dir: root, Tests: true, Deps: true}, fixture)
 		if err != nil {
 			t.Fatalf("loading fixture %s: %v", fixture, err)
 		}
@@ -59,7 +63,7 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
 		if err != nil {
 			t.Fatalf("running %s on %s: %v", a.Name, fixture, err)
 		}
-		checkWants(t, loaded, diags)
+		checkWants(t, loaded, analysis.Unsuppressed(diags))
 	}
 }
 
@@ -72,6 +76,9 @@ func checkWants(t *testing.T, pkgs []*analysis.Package, diags []analysis.Diagnos
 	t.Helper()
 	wants := map[key][]*regexp.Regexp{}
 	for _, pkg := range pkgs {
+		if pkg.DepOnly {
+			continue
+		}
 		for _, f := range pkg.Files {
 			collectWants(t, pkg, f, wants)
 		}

@@ -1,0 +1,356 @@
+// Package cfg builds per-function control-flow graphs from go/ast. It is
+// the bottom layer of the analysis framework's dataflow stack: the taint
+// engine (internal/analysis/taint) walks only CFG-reachable statements, so
+// dead code neither generates taint nor hides a leak report behind an
+// unreachable sink.
+//
+// The graph is deliberately simple — basic blocks of statements in source
+// order with successor edges — and approximates the hard corners
+// conservatively: a `goto` edge to a label is resolved if the label is
+// declared anywhere in the function, `select` treats every communication
+// clause as possible, and expression-level control flow (short-circuit
+// `&&`/`||`, function literals) stays inside its enclosing statement node.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Graph is the control-flow graph of one function body. Blocks[0] is the
+// entry block. A block with no successors either returns, terminates
+// (panic, os.Exit — not modelled specially, it simply ends), or falls off
+// the end of the function.
+type Graph struct {
+	Blocks []*Block
+}
+
+// Block is one basic block: a maximal run of statements with a single
+// entry point. Control expressions (an if condition, a switch tag, a
+// range operand) are recorded as nodes of the block evaluating them.
+type Block struct {
+	// Index is the block's position in Graph.Blocks.
+	Index int
+	// Nodes are the statements and control expressions of the block, in
+	// evaluation order.
+	Nodes []ast.Node
+	// Succs are the possible successor blocks.
+	Succs []*Block
+}
+
+// New builds the CFG of one function body. A nil body (declaration
+// without a definition) yields a graph with a single empty entry block.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{graph: &Graph{}, labels: map[string]*Block{}}
+	entry := b.newBlock()
+	b.current = entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	return b.graph
+}
+
+// Reachable returns the blocks reachable from the entry block.
+func (g *Graph) Reachable() []*Block {
+	if len(g.Blocks) == 0 {
+		return nil
+	}
+	seen := make([]bool, len(g.Blocks))
+	var out []*Block
+	stack := []*Block{g.Blocks[0]}
+	seen[0] = true
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, blk)
+		for _, s := range blk.Succs {
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return out
+}
+
+// builder threads the block under construction through the statement walk.
+type builder struct {
+	graph   *Graph
+	current *Block
+	// breaks and continues are the innermost-first stacks of jump
+	// targets; each entry carries the statement's label (empty when
+	// unlabeled).
+	breaks    []jumpTarget
+	continues []jumpTarget
+	// labels maps declared label names to the block they start, created
+	// on demand so forward gotos resolve.
+	labels map[string]*Block
+	// pendingLabel names the label attached to the next loop/switch
+	// statement, for labeled break/continue.
+	pendingLabel string
+}
+
+type jumpTarget struct {
+	label string
+	block *Block
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.graph.Blocks)}
+	b.graph.Blocks = append(b.graph.Blocks, blk)
+	return blk
+}
+
+// jump adds an edge from the current block to blk.
+func (b *builder) jump(blk *Block) {
+	if b.current != nil {
+		b.current.Succs = append(b.current.Succs, blk)
+	}
+}
+
+// startBlock finishes the current block and begins blk.
+func (b *builder) startBlock(blk *Block) {
+	b.current = blk
+}
+
+func (b *builder) add(n ast.Node) {
+	if b.current != nil && n != nil {
+		b.current.Nodes = append(b.current.Nodes, n)
+	}
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// labelBlock returns (creating if needed) the block a label names.
+func (b *builder) labelBlock(name string) *Block {
+	blk, ok := b.labels[name]
+	if !ok {
+		blk = b.newBlock()
+		b.labels[name] = blk
+	}
+	return blk
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		thenBlk, done := b.newBlock(), b.newBlock()
+		elseBlk := done
+		if s.Else != nil {
+			elseBlk = b.newBlock()
+		}
+		b.jump(thenBlk)
+		b.jump(elseBlk)
+		b.startBlock(thenBlk)
+		b.stmt(s.Body)
+		b.jump(done)
+		if s.Else != nil {
+			b.startBlock(elseBlk)
+			b.stmt(s.Else)
+			b.jump(done)
+		}
+		b.startBlock(done)
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head, body, post, done := b.newBlock(), b.newBlock(), b.newBlock(), b.newBlock()
+		b.jump(head)
+		b.startBlock(head)
+		if s.Cond != nil {
+			b.add(s.Cond)
+			head.Succs = append(head.Succs, body, done)
+		} else {
+			head.Succs = append(head.Succs, body)
+		}
+		b.pushJumps(label, done, post)
+		b.startBlock(body)
+		b.stmt(s.Body)
+		b.popJumps()
+		b.jump(post)
+		b.startBlock(post)
+		if s.Post != nil {
+			b.stmt(s.Post)
+		}
+		b.jump(head)
+		b.startBlock(done)
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.add(s)
+		head, body, done := b.newBlock(), b.newBlock(), b.newBlock()
+		b.jump(head)
+		head.Succs = append(head.Succs, body, done)
+		b.pushJumps(label, done, head)
+		b.startBlock(body)
+		b.stmt(s.Body)
+		b.popJumps()
+		b.jump(head)
+		b.startBlock(done)
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		b.caseStmt(s)
+
+	case *ast.LabeledStmt:
+		blk := b.labelBlock(s.Label.Name)
+		b.jump(blk)
+		b.startBlock(blk)
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			b.branchTo(b.breaks, s.Label)
+		case token.CONTINUE:
+			b.branchTo(b.continues, s.Label)
+		case token.GOTO:
+			if s.Label != nil {
+				b.jump(b.labelBlock(s.Label.Name))
+			}
+			b.startBlock(b.newBlock())
+		case token.FALLTHROUGH:
+			// caseStmt already wires the fallthrough edge.
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.startBlock(b.newBlock())
+
+	default:
+		// Straight-line statements: declarations, assignments, calls,
+		// sends, go/defer, inc/dec, empty.
+		b.add(s)
+	}
+}
+
+// takeLabel consumes the label attached to the statement being built.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) pushJumps(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, jumpTarget{label, brk})
+	if cont != nil {
+		b.continues = append(b.continues, jumpTarget{label, cont})
+	} else {
+		b.continues = append(b.continues, jumpTarget{label, nil})
+	}
+}
+
+func (b *builder) popJumps() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+// branchTo wires a break/continue to the matching enclosing target and
+// starts a fresh (unreachable-from-here) block for any trailing code.
+func (b *builder) branchTo(stack []jumpTarget, label *ast.Ident) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		t := stack[i]
+		if t.block == nil {
+			continue
+		}
+		if label == nil || t.label == label.Name {
+			b.jump(t.block)
+			break
+		}
+	}
+	b.startBlock(b.newBlock())
+}
+
+// caseStmt builds switch, type-switch and select statements: a head block
+// evaluating the tag, one block per clause, and a common done block.
+func (b *builder) caseStmt(s ast.Stmt) {
+	label := b.takeLabel()
+	var clauses []ast.Stmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+	}
+	head := b.current
+	done := b.newBlock()
+	hasDefault := false
+	// Build each clause block; record them so fallthrough edges can be
+	// added between adjacent switch clauses.
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+	}
+	for i, c := range clauses {
+		blk := blocks[i]
+		if head != nil {
+			head.Succs = append(head.Succs, blk)
+		}
+		b.startBlock(blk)
+		b.pushJumps(label, done, nil)
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				b.add(e)
+			}
+			b.stmtList(c.Body)
+			if fallsThrough(c.Body) && i+1 < len(blocks) {
+				b.jump(blocks[i+1])
+			}
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				b.stmt(c.Comm)
+			}
+			b.stmtList(c.Body)
+		}
+		b.popJumps()
+		b.jump(done)
+	}
+	if !hasDefault && head != nil {
+		// No default: the statement may match nothing (switch) — for
+		// select without default this over-approximates, which is safe.
+		head.Succs = append(head.Succs, done)
+	}
+	b.startBlock(done)
+}
+
+// fallsThrough reports whether a case body ends in a fallthrough.
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}

@@ -1,0 +1,242 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFunc parses src as a file and returns the CFG of its first
+// function.
+func buildFunc(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v\nsource:\n%s", err, src)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return New(fd.Body)
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// reachableCalls returns the callee names appearing in reachable blocks.
+func reachableCalls(g *Graph) map[string]bool {
+	out := map[string]bool{}
+	for _, blk := range g.Reachable() {
+		for _, n := range blk.Nodes {
+			ast.Inspect(n, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					out[id.Name] = true
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func TestStraightLine(t *testing.T) {
+	g := buildFunc(t, "a(); b(); c()")
+	calls := reachableCalls(g)
+	for _, want := range []string{"a", "b", "c"} {
+		if !calls[want] {
+			t.Errorf("call %s not reachable", want)
+		}
+	}
+	if len(g.Blocks[0].Nodes) != 3 {
+		t.Errorf("entry block has %d nodes, want 3", len(g.Blocks[0].Nodes))
+	}
+}
+
+func TestIfElseJoin(t *testing.T) {
+	g := buildFunc(t, `
+	if cond() {
+		a()
+	} else {
+		b()
+	}
+	after()`)
+	calls := reachableCalls(g)
+	for _, want := range []string{"cond", "a", "b", "after"} {
+		if !calls[want] {
+			t.Errorf("call %s not reachable", want)
+		}
+	}
+	// The then-block must not flow into the else-block.
+	for _, blk := range g.Blocks {
+		text := blockCalls(blk)
+		if strings.Contains(text, "a") && strings.Contains(text, "b") {
+			t.Errorf("then and else share a block: %s", text)
+		}
+	}
+}
+
+func TestReturnCutsFlow(t *testing.T) {
+	g := buildFunc(t, `
+	a()
+	return
+	b()`)
+	calls := reachableCalls(g)
+	if !calls["a"] {
+		t.Error("a() not reachable")
+	}
+	if calls["b"] {
+		t.Error("b() after return reported reachable")
+	}
+}
+
+func TestLoopBreakContinue(t *testing.T) {
+	g := buildFunc(t, `
+	for i := 0; i < n; i++ {
+		if skip() {
+			continue
+		}
+		if stop() {
+			break
+		}
+		body()
+	}
+	after()`)
+	calls := reachableCalls(g)
+	for _, want := range []string{"skip", "stop", "body", "after"} {
+		if !calls[want] {
+			t.Errorf("call %s not reachable", want)
+		}
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := buildFunc(t, `
+outer:
+	for {
+		for {
+			if done() {
+				break outer
+			}
+			inner()
+		}
+	}
+	after()`)
+	calls := reachableCalls(g)
+	for _, want := range []string{"done", "inner", "after"} {
+		if !calls[want] {
+			t.Errorf("call %s not reachable", want)
+		}
+	}
+}
+
+func TestInfiniteLoopNoExit(t *testing.T) {
+	g := buildFunc(t, `
+	for {
+		body()
+	}
+	after()`)
+	calls := reachableCalls(g)
+	if !calls["body"] {
+		t.Error("loop body not reachable")
+	}
+	if calls["after"] {
+		t.Error("code after `for {}` reported reachable")
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := buildFunc(t, `
+	switch tag() {
+	case 1:
+		one()
+		fallthrough
+	case 2:
+		two()
+	default:
+		dflt()
+	}
+	after()`)
+	calls := reachableCalls(g)
+	for _, want := range []string{"tag", "one", "two", "dflt", "after"} {
+		if !calls[want] {
+			t.Errorf("call %s not reachable", want)
+		}
+	}
+}
+
+func TestSelectClauses(t *testing.T) {
+	g := buildFunc(t, `
+	select {
+	case v := <-ch:
+		recv(v)
+	case ch2 <- x:
+		sent()
+	default:
+		idle()
+	}
+	after()`)
+	calls := reachableCalls(g)
+	for _, want := range []string{"recv", "sent", "idle", "after"} {
+		if !calls[want] {
+			t.Errorf("call %s not reachable", want)
+		}
+	}
+}
+
+func TestGotoForward(t *testing.T) {
+	g := buildFunc(t, `
+	a()
+	goto end
+	dead()
+end:
+	b()`)
+	calls := reachableCalls(g)
+	if !calls["a"] || !calls["b"] {
+		t.Error("goto endpoints not reachable")
+	}
+	if calls["dead"] {
+		t.Error("statement jumped over by goto reported reachable")
+	}
+}
+
+func TestRangeLoop(t *testing.T) {
+	g := buildFunc(t, `
+	for _, v := range xs {
+		use(v)
+	}
+	after()`)
+	calls := reachableCalls(g)
+	if !calls["use"] || !calls["after"] {
+		t.Error("range body or successor not reachable")
+	}
+}
+
+func TestNilBody(t *testing.T) {
+	g := New(nil)
+	if len(g.Blocks) != 1 || len(g.Reachable()) != 1 {
+		t.Errorf("nil body graph has %d blocks, want a single entry", len(g.Blocks))
+	}
+}
+
+func blockCalls(blk *Block) string {
+	var b strings.Builder
+	for _, n := range blk.Nodes {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					b.WriteString(id.Name + " ")
+				}
+			}
+			return true
+		})
+	}
+	return b.String()
+}

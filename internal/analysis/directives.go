@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"strings"
+	"unicode"
 )
 
 // Directive is one //yosolint: comment directive.
@@ -27,14 +28,24 @@ type Directive struct {
 	Line int
 }
 
-// KnownDirectives are the accepted //yosolint: keywords.
+// KnownDirectives are the baseline accepted //yosolint: keywords. The
+// runner validates directive names against the union of the registered
+// analyzers' Directives and Markers lists (so removing an analyzer makes
+// its directives rot visibly); this map is the fallback registry used when
+// no analyzers are supplied and by tools that parse directives standalone.
 //
 //   - simulation: the flagged randomness is simulation/adversary modelling,
 //     not secret protocol randomness (honored by cryptorand).
 //   - ignore: blanket per-line suppression, honored by every analyzer.
+//   - secret: marks a type or struct field as secret material; consumed by
+//     secretflow as a taint source annotation, suppresses nothing.
+//   - declassify: the flagged secret flow is an intentional disclosure
+//     (protocol output, simulation transcript); honored by secretflow.
 var KnownDirectives = map[string]bool{
 	"simulation": true,
 	"ignore":     true,
+	"secret":     true,
+	"declassify": true,
 }
 
 const directivePrefix = "//yosolint:"
@@ -51,7 +62,7 @@ func ParseDirectives(fset *token.FileSet, file *ast.File, src []byte) []Directiv
 				continue
 			}
 			rest := strings.TrimPrefix(text, directivePrefix)
-			name, reason, _ := strings.Cut(rest, " ")
+			name, reason := cutSpace(rest)
 			pos := fset.Position(c.Pos())
 			line := pos.Line
 			if standsAlone(fset, c.Pos(), src) {
@@ -66,6 +77,16 @@ func ParseDirectives(fset *token.FileSet, file *ast.File, src []byte) []Directiv
 		}
 	}
 	return out
+}
+
+// cutSpace splits s at its first whitespace rune, so a tab-separated
+// justification parses the same as a space-separated one instead of
+// leaking the separator into the directive name.
+func cutSpace(s string) (name, reason string) {
+	if i := strings.IndexFunc(s, unicode.IsSpace); i >= 0 {
+		return s[:i], strings.TrimSpace(s[i:])
+	}
+	return s, ""
 }
 
 // standsAlone reports whether only whitespace precedes pos on its line.
@@ -85,7 +106,10 @@ func standsAlone(fset *token.FileSet, pos token.Pos, src []byte) bool {
 // directiveIndex maps filename → line → directives applying to that line.
 type directiveIndex map[string]map[int][]Directive
 
-func indexDirectives(pkg *Package) (directiveIndex, []Diagnostic) {
+func indexDirectives(pkg *Package, honored map[string]bool) (directiveIndex, []Diagnostic) {
+	if honored == nil {
+		honored = KnownDirectives
+	}
 	idx := directiveIndex{}
 	var diags []Diagnostic
 	for _, f := range pkg.Files {
@@ -93,11 +117,11 @@ func indexDirectives(pkg *Package) (directiveIndex, []Diagnostic) {
 		src := pkg.Sources[pos.Filename]
 		for _, d := range ParseDirectives(pkg.Fset, f, src) {
 			dpos := pkg.Fset.Position(d.Pos)
-			if !KnownDirectives[d.Name] {
+			if !honored[d.Name] {
 				diags = append(diags, Diagnostic{
 					Analyzer: "yosolint",
 					Pos:      dpos,
-					Message:  "unknown //yosolint: directive " + strconvQuote(d.Name),
+					Message:  "unknown //yosolint: directive " + strconvQuote(d.Name) + " (no registered analyzer honors it)",
 				})
 				continue
 			}
@@ -120,21 +144,21 @@ func indexDirectives(pkg *Package) (directiveIndex, []Diagnostic) {
 	return idx, diags
 }
 
-// suppresses reports whether a directive at the diagnostic's line covers the
-// given analyzer.
-func (idx directiveIndex) suppresses(a *Analyzer, d Diagnostic) bool {
+// suppressing returns the directive at the diagnostic's line that covers
+// the given analyzer, or nil when none does.
+func (idx directiveIndex) suppressing(a *Analyzer, d Diagnostic) *Directive {
 	byLine := idx[d.Pos.Filename]
 	if byLine == nil {
-		return false
+		return nil
 	}
 	for _, dir := range byLine[d.Pos.Line] {
 		for _, name := range a.Directives {
 			if dir.Name == name {
-				return true
+				return &dir
 			}
 		}
 	}
-	return false
+	return nil
 }
 
 func strconvQuote(s string) string { return `"` + s + `"` }

@@ -36,6 +36,11 @@ type Package struct {
 	Types *types.Package
 	// Info records type and object resolution for Files.
 	Info *types.Info
+	// DepOnly marks a package loaded from source only as dependency
+	// context for module-level analyses (LoadConfig.Deps). DepOnly
+	// packages supply call-graph summaries and //yosolint:secret
+	// annotations but are not themselves analyzed or directive-validated.
+	DepOnly bool
 }
 
 // LoadConfig controls Load.
@@ -47,6 +52,12 @@ type LoadConfig struct {
 	// their package, and external (package foo_test) files become a
 	// separate Package with an import path suffixed "_test".
 	Tests bool
+	// Deps additionally loads the targets' non-standard-library
+	// dependencies from source, marked Package.DepOnly, so module-level
+	// analyses can compute bottom-up summaries for helper packages that
+	// the patterns did not match (`go list -deps` emits dependencies
+	// before their importers, and Load preserves that order).
+	Deps bool
 }
 
 // listedPkg is the subset of `go list -json` output the loader consumes.
@@ -98,16 +109,32 @@ func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
 
 	exports := map[string]string{}
 	var targets []*listedPkg
+	seen := map[string]bool{}
+	nTargets := 0
 	for _, p := range listed {
 		if p.Export != "" {
 			if _, ok := exports[p.ImportPath]; !ok {
 				exports[p.ImportPath] = p.Export
 			}
 		}
-		// Targets are the pattern-matched real packages: not dependencies,
-		// not synthesized test binaries ("foo.test") or test variants
-		// ("foo [foo.test]", reported with ForTest set).
-		if p.DepOnly || p.ForTest != "" || strings.HasSuffix(p.ImportPath, ".test") {
+		// Test variants ("foo [foo.test]", ForTest set) and synthesized
+		// test binaries ("foo.test") are never loaded directly.
+		if p.ForTest != "" || strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		if p.DepOnly {
+			// Dependencies are loaded from source only when requested,
+			// and only module-local ones: the standard library has no
+			// yosolint annotations, and its sources may not parse with
+			// the framework's plain go/parser configuration. A broken or
+			// fileless dependency is silently skipped — its importers
+			// still type-check from export data.
+			if !cfg.Deps || p.Standard || p.Error != nil || len(p.GoFiles) == 0 || seen[p.ImportPath] {
+				continue
+			}
+			seen[p.ImportPath] = true
+			pp := p
+			targets = append(targets, &pp)
 			continue
 		}
 		if p.Error != nil {
@@ -116,10 +143,15 @@ func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
 		if len(p.GoFiles) == 0 && !(cfg.Tests && (len(p.TestGoFiles) > 0 || len(p.XTestGoFiles) > 0)) {
 			continue
 		}
+		if seen[p.ImportPath] {
+			continue
+		}
+		seen[p.ImportPath] = true
+		nTargets++
 		pp := p
 		targets = append(targets, &pp)
 	}
-	if len(targets) == 0 {
+	if nTargets == 0 {
 		return nil, fmt.Errorf("analysis: no packages matched %v", patterns)
 	}
 
@@ -129,17 +161,21 @@ func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
 	var out []*Package
 	for _, t := range targets {
 		files := append([]string{}, t.GoFiles...)
-		if cfg.Tests {
+		if cfg.Tests && !t.DepOnly {
 			files = append(files, t.TestGoFiles...)
 		}
 		if len(files) > 0 {
 			pkg, err := checkPackage(fset, imp, t.ImportPath, t.Dir, files)
 			if err != nil {
+				if t.DepOnly {
+					continue
+				}
 				return nil, err
 			}
+			pkg.DepOnly = t.DepOnly
 			out = append(out, pkg)
 		}
-		if cfg.Tests && len(t.XTestGoFiles) > 0 {
+		if cfg.Tests && !t.DepOnly && len(t.XTestGoFiles) > 0 {
 			pkg, err := checkPackage(fset, imp, t.ImportPath+"_test", t.Dir, t.XTestGoFiles)
 			if err != nil {
 				return nil, err

@@ -6,15 +6,35 @@ import (
 )
 
 // RunPackages runs every analyzer over every package, applies //yosolint:
-// directive suppression, and returns the surviving diagnostics sorted by
-// position. Malformed directives (unknown name, missing justification) are
-// themselves reported, under the pseudo-analyzer name "yosolint".
+// directive suppression, and returns the diagnostics sorted by position.
+// Suppressed diagnostics are returned too, flagged Suppressed with the
+// directive's justification attached, so drivers can audit the active
+// escape hatches; callers deciding pass/fail must filter them out.
+// Malformed directives (a name no registered analyzer honors, or a missing
+// justification) are themselves reported, under the pseudo-analyzer name
+// "yosolint".
+//
+// Package-level analyzers (Run) see one package at a time. Module-level
+// analyzers (RunModule) run once over the whole load in dependency order;
+// packages loaded only as dependency context (Package.DepOnly) feed them
+// summaries but are neither directive-validated nor analyzed themselves.
 func RunPackages(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	honored := honoredDirectives(analyzers)
+	merged := directiveIndex{}
 	var all []Diagnostic
 	for _, pkg := range pkgs {
-		idx, dirDiags := indexDirectives(pkg)
+		if pkg.DepOnly {
+			continue
+		}
+		idx, dirDiags := indexDirectives(pkg, honored)
 		all = append(all, dirDiags...)
+		for file, byLine := range idx {
+			merged[file] = byLine
+		}
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			var found []Diagnostic
 			pass := &Pass{
 				Analyzer:  a,
@@ -27,12 +47,26 @@ func RunPackages(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
 			}
-			for _, d := range found {
-				if !idx.suppresses(a, d) {
-					all = append(all, d)
-				}
-			}
+			all = append(all, applySuppression(idx, a, found)...)
 		}
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		var found []Diagnostic
+		mp := &ModulePass{
+			Analyzer: a,
+			Packages: pkgs,
+			report:   func(d Diagnostic) { found = append(found, d) },
+		}
+		if len(pkgs) > 0 {
+			mp.Fset = pkgs[0].Fset
+		}
+		if err := a.RunModule(mp); err != nil {
+			return nil, fmt.Errorf("analysis: %s (module pass): %w", a.Name, err)
+		}
+		all = append(all, applySuppression(merged, a, found)...)
 	}
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
@@ -48,4 +82,45 @@ func RunPackages(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		return a.Analyzer < b.Analyzer
 	})
 	return all, nil
+}
+
+// Unsuppressed filters diags down to the findings that should fail a run.
+func Unsuppressed(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// applySuppression marks each diagnostic covered by a directive for a.
+func applySuppression(idx directiveIndex, a *Analyzer, found []Diagnostic) []Diagnostic {
+	for i, d := range found {
+		if dir := idx.suppressing(a, d); dir != nil {
+			found[i].Suppressed = true
+			found[i].Justification = dir.Reason
+		}
+	}
+	return found
+}
+
+// honoredDirectives is the union of the registered analyzers' Directives
+// and Markers — the set of //yosolint: names that are not "unknown". With
+// no analyzers registered it falls back to the baseline KnownDirectives.
+func honoredDirectives(analyzers []*Analyzer) map[string]bool {
+	out := map[string]bool{}
+	for _, a := range analyzers {
+		for _, name := range a.Directives {
+			out[name] = true
+		}
+		for _, name := range a.Markers {
+			out[name] = true
+		}
+	}
+	if len(out) == 0 {
+		return KnownDirectives
+	}
+	return out
 }

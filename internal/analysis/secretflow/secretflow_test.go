@@ -1,0 +1,128 @@
+package secretflow
+
+import (
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"yosompc/internal/analysis"
+	"yosompc/internal/analysis/analysistest"
+)
+
+// TestFixtures runs the analyzer over the five leak-class fixtures:
+// direct sink, sink inside a helper, struct embedding + channel erasure,
+// justified declassification, and the encrypt-then-post clean path.
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), Analyzer,
+		"direct", "helper", "chanembed", "declass", "transport")
+}
+
+// TestBuiltinSourceSetSync type-checks the real packages behind the
+// builtin secret set and asserts every key still resolves: a rename of
+// sharing.Share or removal of tte.PartialDec must fail this test, not
+// silently hollow out the analyzer.
+func TestBuiltinSourceSetSync(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks several packages")
+	}
+	root := repoRoot(t)
+
+	// Group wanted names by package path. Type keys are pkgpath.TypeName,
+	// field keys pkgpath.TypeName.FieldName — split at the last dots.
+	type want struct {
+		typeName string
+		field    string // empty for whole-type keys
+	}
+	wants := map[string][]want{}
+	for key := range BuiltinSecretTypes {
+		path, name := splitKey(t, key)
+		wants[path] = append(wants[path], want{typeName: name})
+	}
+	for key := range BuiltinSecretFields {
+		typeKey, field := splitKey(t, key)
+		path, name := splitKey(t, typeKey)
+		wants[path] = append(wants[path], want{typeName: name, field: field})
+	}
+
+	var paths []string
+	for p := range wants {
+		paths = append(paths, "./"+strings.TrimPrefix(p, "yosompc/"))
+	}
+	sort.Strings(paths)
+	pkgs, err := analysis.Load(analysis.LoadConfig{Dir: root}, paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := map[string]*analysis.Package{}
+	for _, p := range pkgs {
+		byPath[p.Types.Path()] = p
+	}
+	for path, ws := range wants {
+		pkg := byPath[path]
+		if pkg == nil {
+			t.Errorf("builtin source package %s did not load", path)
+			continue
+		}
+		for _, w := range ws {
+			obj := pkg.Types.Scope().Lookup(w.typeName)
+			if obj == nil {
+				t.Errorf("builtin source %s.%s no longer exists", path, w.typeName)
+				continue
+			}
+			tn, ok := obj.(*types.TypeName)
+			if !ok {
+				t.Errorf("builtin source %s.%s is a %T, not a type", path, w.typeName, obj)
+				continue
+			}
+			if w.field == "" {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				t.Errorf("builtin field source %s.%s.%s: type is not a struct", path, w.typeName, w.field)
+				continue
+			}
+			found := false
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i).Name() == w.field {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("builtin field source %s.%s has no field %s", path, w.typeName, w.field)
+			}
+		}
+	}
+}
+
+// splitKey splits "pkgpath.Name" at the last dot.
+func splitKey(t *testing.T, key string) (path, name string) {
+	t.Helper()
+	i := strings.LastIndex(key, ".")
+	if i < 0 {
+		t.Fatalf("malformed builtin key %q", key)
+	}
+	return key[:i], key[i+1:]
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod found")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,33 @@
+// Package chanembed exercises leak class 3: secret material hidden behind
+// struct composition/embedding and passed through a channel whose element
+// type erases the secret's type.
+package chanembed
+
+import (
+	"log"
+
+	"yosompc/internal/tte"
+)
+
+// bundle wraps a key share behind a neutral struct.
+type bundle struct {
+	label string
+	ks    tte.KeyShare
+}
+
+// wrapped embeds the secret interface directly.
+type wrapped struct {
+	tte.KeyShare
+	note string
+}
+
+func Relay(ks tte.KeyShare, out chan any) {
+	b := bundle{label: "kff", ks: ks}
+	log.Println("bundle", b) // want `secret value b reaches logging sink log\.Println`
+	w := wrapped{KeyShare: ks, note: "epoch 3"}
+	log.Println("wrapped", w) // want `secret value w reaches logging sink log\.Println`
+	out <- ks
+	v := <-out
+	log.Println("recv", v) // want `secret value v reaches logging sink log\.Println`
+	log.Println("label", b.label)
+}

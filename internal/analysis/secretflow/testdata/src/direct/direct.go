@@ -1,0 +1,30 @@
+// Package direct exercises leak class 1: secret material handed straight
+// to a sink in the same function, from both the builtin source set
+// (sharing.Share, its Value field) and a locally //yosolint:secret
+// annotated field.
+package direct
+
+import (
+	"fmt"
+	"log"
+
+	"yosompc/internal/sharing"
+)
+
+// Key is a locally annotated secret carrier: Raw is secret, ID is not.
+type Key struct {
+	ID  int
+	Raw []byte //yosolint:secret raw key bytes reconstruct the decryption key
+}
+
+func Dump(sh sharing.Share, k Key) error {
+	log.Printf("share=%v", sh)             // want `secret value sh reaches logging sink log\.Printf`
+	fmt.Println(sh.Value)                  // want `secret value sh\.Value reaches logging sink fmt\.Println`
+	log.Printf("share index=%d", sh.Index) // clean: Index is a public field
+	fmt.Printf("key id=%d\n", k.ID)        // clean: ID is not marked
+	fmt.Println(k)                         // want `secret value k reaches logging sink fmt\.Println`
+	if len(k.Raw) == 0 {
+		return fmt.Errorf("empty key %x", k.Raw) // want `secret value k\.Raw is formatted into an error by fmt\.Errorf`
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+// Package helper exercises leak class 2: the sink is inside a helper
+// function, so the leak must cross a call boundary via the helper's
+// summary — both for a secret passed into a sinking helper and for taint
+// carried out of a formatting helper's result.
+package helper
+
+import (
+	"fmt"
+
+	"yosompc/internal/sharing"
+)
+
+// record formats its argument into an error — a sink behind a call.
+func record(v any) error {
+	return fmt.Errorf("record: %v", v)
+}
+
+// describe launders the share through a formatting result.
+func describe(sh sharing.Share) string {
+	return fmt.Sprintf("share %v", sh)
+}
+
+func Process(sh sharing.Share) error {
+	s := describe(sh)
+	if err := record(sh); err != nil { // want `secret value sh is formatted into an error inside .*record`
+		return err
+	}
+	return record(s) // want `secret value s is formatted into an error inside .*record`
+}
+
+func Clean(sh sharing.Share) error {
+	return record(sh.Index) // clean: only the public index crosses into the helper
+}

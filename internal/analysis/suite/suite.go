@@ -9,6 +9,7 @@ import (
 	"yosompc/internal/analysis/fieldops"
 	"yosompc/internal/analysis/postcheck"
 	"yosompc/internal/analysis/roleonce"
+	"yosompc/internal/analysis/secretflow"
 )
 
 // Analyzers returns the yosolint suite in stable order.
@@ -18,5 +19,6 @@ func Analyzers() []*analysis.Analyzer {
 		fieldops.Analyzer,
 		postcheck.Analyzer,
 		roleonce.Analyzer,
+		secretflow.Analyzer,
 	}
 }

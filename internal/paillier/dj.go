@@ -63,7 +63,9 @@ func NewDJKey(base *PrivateKey, s int) (*DJKey, error) {
 // Encrypt encrypts m ∈ [0, N^S).
 func (k *DJKey) Encrypt(random io.Reader, m *big.Int) (*Ciphertext, error) {
 	if m.Sign() < 0 || m.Cmp(k.Ns) >= 0 {
-		return nil, fmt.Errorf("%w: %v", ErrMessageRange, m)
+		// The message itself stays out of the error: callers wrap errors
+		// into logs and board posts, and m is plaintext.
+		return nil, fmt.Errorf("%w: message outside [0, N^s)", ErrMessageRange)
 	}
 	r, err := k.Base.PublicKey.RandomUnit(random)
 	if err != nil {

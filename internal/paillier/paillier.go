@@ -192,7 +192,9 @@ func (pk *PublicKey) Encrypt(random io.Reader, m *big.Int) (*Ciphertext, error) 
 // prove knowledge of (m, r).
 func (pk *PublicKey) EncryptWithNonce(m, r *big.Int) (*Ciphertext, error) {
 	if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
-		return nil, fmt.Errorf("%w: %v", ErrMessageRange, m)
+		// The message itself stays out of the error: callers wrap errors
+		// into logs and board posts, and m is plaintext.
+		return nil, fmt.Errorf("%w: message outside [0, N)", ErrMessageRange)
 	}
 	// (1+N)^m = 1 + mN mod N².
 	gm := new(big.Int).Mul(m, pk.N)

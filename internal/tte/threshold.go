@@ -67,7 +67,7 @@ func (p *thresholdPK) MaxPlaintext() *big.Int { return p.maxPlain }
 type thresholdShare struct {
 	index int
 	epoch int
-	d     *big.Int // signed after resharing
+	d     *big.Int //yosolint:secret key-share evaluation d_i = F(i); signed after resharing
 }
 
 func (s *thresholdShare) Index() int { return s.index }
@@ -86,7 +86,7 @@ func (c *thresholdCT) Size() int       { return c.size }
 type thresholdPartial struct {
 	index int
 	epoch int
-	v     *big.Int // c^(2Δ·d_i) mod N²
+	v     *big.Int //yosolint:secret partial decryption c^(2Δ·d_i) mod N², secret until intentionally combined
 	size  int
 }
 
@@ -96,8 +96,8 @@ func (p *thresholdPartial) Size() int  { return p.size }
 
 type thresholdSub struct {
 	from, to int
-	epoch    int // epoch of the share being reshared
-	v        *big.Int
+	epoch    int      // epoch of the share being reshared
+	v        *big.Int //yosolint:secret resharing evaluation f_from(to), blinds the next-epoch share
 }
 
 func (s *thresholdSub) From() int { return s.from }
@@ -166,7 +166,8 @@ func (s *Threshold) Encrypt(pk PublicKey, m, bound *big.Int) (Ciphertext, error)
 		return nil, err
 	}
 	if m.Sign() < 0 || bound == nil || m.Cmp(bound) > 0 {
-		return nil, fmt.Errorf("tte: plaintext %v outside [0, bound]", m)
+		// The plaintext stays out of the error message by design.
+		return nil, fmt.Errorf("tte: plaintext outside [0, bound]")
 	}
 	if bound.Cmp(tpk.maxPlain) > 0 {
 		return nil, fmt.Errorf("%w: bound %v", ErrPlaintextTooBig, bound)

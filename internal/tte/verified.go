@@ -64,7 +64,14 @@ func (s *Threshold) KeyGenVerified(n, t int) (PublicKey, []KeyShare, *Verificati
 		v = big.NewInt(4)
 	}
 	vk := &VerificationKeys{V: v, Keys: make([]*big.Int, n), Epoch: 0}
-	nm := new(big.Int).Mul(s.dj.Ns, s.dealer.M)
+	// The witness bound must derive from public quantities only: the
+	// verification keys travel to every verifier, and a bound equal to
+	// 2Δ·N^s·m would hand out the secret m = p'q' (divide by the known
+	// 2Δ·N^s) and with it N's factorization. m < N/4 for a safe-prime
+	// modulus, so 2Δ·N^s·(N/4) over-bounds |Δ·d_i| and is sound: the
+	// bound only sizes the proof's masking randomness, where bigger
+	// still hides.
+	nm := new(big.Int).Mul(s.dj.Ns, new(big.Int).Rsh(s.dealer.N, 2))
 	vk.WitnessBound = new(big.Int).Mul(nm, tpk.delta)
 	vk.WitnessBound.Lsh(vk.WitnessBound, 1)
 	for i, sh := range shares {
