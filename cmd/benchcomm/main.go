@@ -17,6 +17,7 @@ import (
 
 	"yosompc/internal/bench"
 	"yosompc/internal/sortition"
+	"yosompc/internal/telemetry"
 )
 
 func main() {
@@ -26,9 +27,48 @@ func main() {
 		eps        = flag.Float64("eps", 0.25, "gap ε for measured sweeps")
 		workers    = flag.Int("workers", 0, "worker-pool size for all measured runs (0 = one per CPU, 1 = serial)")
 		speedupW   = flag.Int("speedup-width", 1024, "E11 workload width (mul gates) for -experiment speedup")
+		traceOut   = flag.String("trace", "", "trace all measured runs and write the spans here (Chrome trace_event JSON; .jsonl for span lines)")
+		metricsOut = flag.String("metrics-out", "", "collect engine metrics across all measured runs and write the JSON snapshot here")
+		stampDir   = flag.String("stamp", "", "also write each experiment's result as BENCH_<name>.json (telemetry-stamped) into this directory")
 	)
 	flag.Parse()
 	bench.Workers = *workers
+	if *traceOut != "" {
+		bench.Trace = telemetry.NewTracer()
+	}
+	if *metricsOut != "" || *stampDir != "" {
+		bench.Metrics = telemetry.NewRegistry()
+	}
+
+	// stamp persists an experiment's rows next to the telemetry collected
+	// so far; exporters below flush the accumulated trace/metrics at exit.
+	stamp := func(name string, result any) error {
+		if *stampDir == "" {
+			return nil
+		}
+		path, err := bench.WriteStamped(*stampDir, name, result)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("stamped: %s\n\n", path)
+		return nil
+	}
+	defer func() {
+		if *traceOut != "" {
+			if err := telemetry.WriteTraceFile(*traceOut, bench.Trace); err != nil {
+				fmt.Fprintf(os.Stderr, "benchcomm: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("trace: %d spans written to %s\n", len(bench.Trace.Spans()), *traceOut)
+		}
+		if *metricsOut != "" {
+			if err := telemetry.WriteMetricsFile(*metricsOut, bench.Metrics); err != nil {
+				fmt.Fprintf(os.Stderr, "benchcomm: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("metrics: snapshot written to %s\n", *metricsOut)
+		}
+	}()
 
 	run := func(name string, f func() error) {
 		if *experiment != "all" && *experiment != name {
@@ -55,7 +95,7 @@ func main() {
 		fmt.Println("=== E1: online bytes/gate vs committee size (measured) ===")
 		fmt.Print(bench.FormatOnlineVsN(pts))
 		fmt.Println()
-		return nil
+		return stamp("online", pts)
 	})
 
 	run("improvement", func() error {
@@ -66,24 +106,24 @@ func main() {
 		fmt.Println("=== E2: online improvement factors at Table-1 parameters ===")
 		fmt.Print(bench.FormatImprovement(rows))
 		fmt.Println()
-		return nil
+		return stamp("improvement", rows)
 	})
 
 	run("offline", func() error {
-		pts, err := bench.OfflineVsGates(16, 4, 4, []int{8, 16, 32, 64})
+		byGates, err := bench.OfflineVsGates(16, 4, 4, []int{8, 16, 32, 64})
 		if err != nil {
 			return err
 		}
 		fmt.Println("=== E3a: offline bytes vs circuit size (n=16) ===")
-		fmt.Print(bench.FormatOfflineScaling(pts))
-		pts, err = bench.OfflineVsN([]int{8, 16, 32, 64}, 16, *eps)
+		fmt.Print(bench.FormatOfflineScaling(byGates))
+		byN, err := bench.OfflineVsN([]int{8, 16, 32, 64}, 16, *eps)
 		if err != nil {
 			return err
 		}
 		fmt.Println("=== E3b: offline bytes vs committee size (16-mul circuit) ===")
-		fmt.Print(bench.FormatOfflineScaling(pts))
+		fmt.Print(bench.FormatOfflineScaling(byN))
 		fmt.Println()
-		return nil
+		return stamp("offline", map[string]any{"byGates": byGates, "byN": byN})
 	})
 
 	run("failstop", func() error {
@@ -95,7 +135,7 @@ func main() {
 		fmt.Printf("n=%d t=%d: packing %d → %d tolerates %d crashed roles per committee\n",
 			res.N, res.T, res.KFull, res.KHalf, res.Dropped)
 		fmt.Printf("completed with crashes: %v; μ-opening overhead %.2f×\n\n", res.Completed, res.Overhead)
-		return nil
+		return stamp("failstop", res)
 	})
 
 	run("robust", func() error {
@@ -108,7 +148,7 @@ func main() {
 			row.N, row.T, row.K, row.ProofOnline, row.RobustOnline, row.ProofBytesSaved)
 		fmt.Printf("packing budget: k ≤ %d (proofs) vs k ≤ %d (robust decoding)\n\n",
 			row.MaxKProof, row.MaxKRobust)
-		return nil
+		return stamp("robust", row)
 	})
 
 	run("amortization", func() error {
@@ -119,7 +159,7 @@ func main() {
 		fmt.Println("=== E10: online amortization curve (n=16, k=4) ===")
 		fmt.Print(bench.FormatAmortization(pts))
 		fmt.Println()
-		return nil
+		return stamp("amortization", pts)
 	})
 
 	run("totalcost", func() error {
@@ -130,7 +170,7 @@ func main() {
 		fmt.Println("=== Limitation: total (setup+offline+online) cost vs baseline ===")
 		fmt.Print(bench.FormatTotalCost(pts))
 		fmt.Println()
-		return nil
+		return stamp("totalcost", pts)
 	})
 
 	// E11 is wall-clock heavy (two full offline phases at n=64), so it
@@ -144,6 +184,10 @@ func main() {
 		fmt.Println("=== E11: offline wall clock, serial vs worker pool ===")
 		fmt.Print(bench.FormatOfflineSpeedup(res))
 		fmt.Println()
+		if err := stamp("speedup", res); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcomm: speedup: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -168,6 +212,6 @@ func main() {
 				r.Name, r.OnlineBytes, r.OnlinePerGate, r.RelativeToFull)
 		}
 		fmt.Println()
-		return nil
+		return stamp("ablation", rows)
 	})
 }

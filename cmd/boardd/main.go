@@ -2,27 +2,33 @@
 // observer client:
 //
 //	boardd -listen :7946                 # serve a board
+//	boardd -listen :7946 -debug :6060   # … with live metrics + pprof
 //	boardd -watch localhost:7946        # tail a board's postings live
 //
 // Protocol runs mirror into a board with `yosompc -mirror <addr>`; remote
 // observers audit who posted how many bytes in which phase — the public
-// record the YOSO broadcast channel carries.
+// record the YOSO broadcast channel carries. With -debug, the server also
+// exposes an HTTP observability surface (/metrics, /debug/vars,
+// /debug/pprof/...) for live profiling; see docs/OBSERVABILITY.md.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
+	"yosompc/internal/telemetry"
 	"yosompc/internal/transport"
 )
 
 func main() {
 	var (
 		listen = flag.String("listen", "", "serve a board on this address (e.g. :7946)")
+		debug  = flag.String("debug", "", "with -listen: also serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060)")
 		watch  = flag.String("watch", "", "tail a board at this address")
 		since  = flag.Int("since", 0, "with -watch: start from this sequence number")
 	)
@@ -30,7 +36,7 @@ func main() {
 
 	switch {
 	case *listen != "":
-		serve(*listen)
+		serve(*listen, *debug)
 	case *watch != "":
 		tail(*watch, *since)
 	default:
@@ -39,13 +45,27 @@ func main() {
 	}
 }
 
-func serve(addr string) {
+func serve(addr, debugAddr string) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "boardd: %v\n", err)
 		os.Exit(1)
 	}
+	var reg *telemetry.Registry
+	if debugAddr != "" {
+		reg = telemetry.NewRegistry()
+	}
 	s := transport.Serve(ln)
+	s.Instrument(reg)
+	if debugAddr != "" {
+		dln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "boardd: debug listener: %v\n", err)
+			os.Exit(1)
+		}
+		go func() { _ = http.Serve(dln, telemetry.Handler(reg, nil)) }()
+		fmt.Printf("boardd: metrics and pprof on http://%s\n", dln.Addr())
+	}
 	fmt.Printf("boardd: serving bulletin board on %s\n", s.Addr())
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

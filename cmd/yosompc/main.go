@@ -37,6 +37,8 @@ func main() {
 		workers     = flag.Int("workers", 0, "worker-pool size for the parallel execution engine (0 = one per CPU, 1 = serial)")
 		mirror      = flag.String("mirror", "", "live-mirror board postings to a boardd server at this address")
 		jsonOut     = flag.Bool("json", false, "emit the communication report as JSON")
+		traceOut    = flag.String("trace", "", "record protocol spans and write them here (Chrome trace_event JSON; .jsonl for span lines)")
+		metricsOut  = flag.String("metrics-out", "", "collect engine metrics and write the JSON snapshot here")
 	)
 	flag.Parse()
 
@@ -71,6 +73,12 @@ func main() {
 	if *backendName == "real" {
 		cfg.Backend = yosompc.Real
 	}
+	if *traceOut != "" {
+		cfg.Trace = yosompc.NewTracer()
+	}
+	if *metricsOut != "" {
+		cfg.Metrics = yosompc.NewMetricsRegistry()
+	}
 
 	var res *yosompc.Result
 	if *useBaseline {
@@ -81,6 +89,20 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "yosompc: %v\n", err)
 		os.Exit(1)
+	}
+	if *traceOut != "" {
+		if err := yosompc.WriteTraceFile(*traceOut, cfg.Trace); err != nil {
+			fmt.Fprintf(os.Stderr, "yosompc: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d spans written to %s\n", len(cfg.Trace.Spans()), *traceOut)
+	}
+	if *metricsOut != "" {
+		if err := yosompc.WriteMetricsFile(*metricsOut, cfg.Metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "yosompc: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics: snapshot written to %s\n", *metricsOut)
 	}
 
 	label := *circuitName

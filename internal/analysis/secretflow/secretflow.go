@@ -162,6 +162,28 @@ var slogFuncs = map[string]bool{
 	"Log": true, "LogAttrs": true,
 }
 
+// BuiltinSinkFuncs are method-granular builtin sinks, keyed by
+// taint.FuncKey (pkgpath.RecvType.Method). Telemetry emitters are
+// disclosure surfaces exactly like logs: span attributes, metric names
+// and recorded samples end up in trace files, HTTP /metrics responses and
+// stamped benchmark results that leave the trust boundary — secret
+// material must never be used as a label or sample value. A sync test
+// asserts each key still resolves to a real method.
+var BuiltinSinkFuncs = map[string]string{
+	"yosompc/internal/telemetry.Tracer.Start":       "trace",
+	"yosompc/internal/telemetry.Span.Child":         "trace",
+	"yosompc/internal/telemetry.Span.SetStr":        "trace",
+	"yosompc/internal/telemetry.Span.SetInt":        "trace",
+	"yosompc/internal/telemetry.Registry.Counter":   "metric",
+	"yosompc/internal/telemetry.Registry.Gauge":     "metric",
+	"yosompc/internal/telemetry.Registry.Histogram": "metric",
+	"yosompc/internal/telemetry.Counter.Add":        "metric",
+	"yosompc/internal/telemetry.Gauge.Set":          "metric",
+	"yosompc/internal/telemetry.Gauge.Add":          "metric",
+	"yosompc/internal/telemetry.Gauge.Max":          "metric",
+	"yosompc/internal/telemetry.Histogram.Observe":  "metric",
+}
+
 // classifySink decides whether one resolved callee at one call site is a
 // disclosure point, and which arguments it discloses.
 func classifySink(pkg *analysis.Package, call *ast.CallExpr, fn *types.Func) *taint.Sink {
@@ -206,6 +228,9 @@ func classifySink(pkg *analysis.Package, call *ast.CallExpr, fn *types.Func) *ta
 	// board or a role's posting helper.
 	if (name == "Post" || name == "Publish" || name == "Broadcast") && boardPkg(path) {
 		return &taint.Sink{Kind: "post"}
+	}
+	if kind, ok := BuiltinSinkFuncs[taint.FuncKey(fn)]; ok {
+		return &taint.Sink{Kind: kind}
 	}
 	return nil
 }
@@ -277,6 +302,10 @@ func message(l taint.Leak) string {
 			return fmt.Sprintf("secret value %s is formatted into an error inside %s", l.Expr, short(l.Callee))
 		case "post":
 			return fmt.Sprintf("secret value %s is posted to the board in plaintext inside %s", l.Expr, short(l.Callee))
+		case "metric":
+			return fmt.Sprintf("secret value %s flows into a metrics sink inside %s", l.Expr, short(l.Callee))
+		case "trace":
+			return fmt.Sprintf("secret value %s is recorded as a trace attribute inside %s", l.Expr, short(l.Callee))
 		default:
 			return fmt.Sprintf("secret value %s reaches a %s sink inside %s", l.Expr, l.Sink, short(l.Callee))
 		}
@@ -288,6 +317,10 @@ func message(l taint.Leak) string {
 		return fmt.Sprintf("secret value %s is formatted into an error by %s", l.Expr, short(l.Callee))
 	case "post":
 		return fmt.Sprintf("secret value %s is posted to the board in plaintext by %s", l.Expr, short(l.Callee))
+	case "metric":
+		return fmt.Sprintf("secret value %s flows into metrics sink %s", l.Expr, short(l.Callee))
+	case "trace":
+		return fmt.Sprintf("secret value %s is recorded as a trace attribute by %s", l.Expr, short(l.Callee))
 	default:
 		return fmt.Sprintf("secret value %s reaches %s sink %s", l.Expr, l.Sink, short(l.Callee))
 	}

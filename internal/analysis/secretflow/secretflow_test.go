@@ -12,12 +12,13 @@ import (
 	"yosompc/internal/analysis/analysistest"
 )
 
-// TestFixtures runs the analyzer over the five leak-class fixtures:
+// TestFixtures runs the analyzer over the six leak-class fixtures:
 // direct sink, sink inside a helper, struct embedding + channel erasure,
-// justified declassification, and the encrypt-then-post clean path.
+// justified declassification, the encrypt-then-post clean path, and
+// telemetry emitters (span attributes, metric names and samples).
 func TestFixtures(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), Analyzer,
-		"direct", "helper", "chanembed", "declass", "transport")
+		"direct", "helper", "chanembed", "declass", "transport", "telemetrysink")
 }
 
 // TestBuiltinSourceSetSync type-checks the real packages behind the
@@ -94,6 +95,62 @@ func TestBuiltinSourceSetSync(t *testing.T) {
 			}
 			if !found {
 				t.Errorf("builtin field source %s.%s has no field %s", path, w.typeName, w.field)
+			}
+		}
+	}
+}
+
+// TestBuiltinSinkFuncsSync type-checks the package behind every builtin
+// sink key and asserts the method still exists with that receiver: a
+// telemetry API rename must fail here, not silently stop classifying the
+// emitter as a sink.
+func TestBuiltinSinkFuncsSync(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks several packages")
+	}
+	root := repoRoot(t)
+
+	// Sink keys are pkgpath.RecvType.Method (taint.FuncKey form).
+	type want struct{ typeName, method string }
+	wants := map[string][]want{}
+	for key, kind := range BuiltinSinkFuncs {
+		if kind != "metric" && kind != "trace" {
+			t.Errorf("builtin sink %s has unknown kind %q", key, kind)
+		}
+		typeKey, method := splitKey(t, key)
+		path, name := splitKey(t, typeKey)
+		wants[path] = append(wants[path], want{typeName: name, method: method})
+	}
+
+	var paths []string
+	for p := range wants {
+		paths = append(paths, "./"+strings.TrimPrefix(p, "yosompc/"))
+	}
+	sort.Strings(paths)
+	pkgs, err := analysis.Load(analysis.LoadConfig{Dir: root}, paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := map[string]*analysis.Package{}
+	for _, p := range pkgs {
+		byPath[p.Types.Path()] = p
+	}
+	for path, ws := range wants {
+		pkg := byPath[path]
+		if pkg == nil {
+			t.Errorf("builtin sink package %s did not load", path)
+			continue
+		}
+		for _, w := range ws {
+			obj := pkg.Types.Scope().Lookup(w.typeName)
+			tn, ok := obj.(*types.TypeName)
+			if !ok {
+				t.Errorf("builtin sink receiver %s.%s no longer exists", path, w.typeName)
+				continue
+			}
+			m, _, _ := types.LookupFieldOrMethod(tn.Type(), true, pkg.Types, w.method)
+			if _, ok := m.(*types.Func); !ok {
+				t.Errorf("builtin sink %s.%s has no method %s", path, w.typeName, w.method)
 			}
 		}
 	}

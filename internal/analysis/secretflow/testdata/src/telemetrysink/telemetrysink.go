@@ -1,0 +1,37 @@
+// Package telemetrysink exercises the telemetry-emitter sinks: span
+// attributes and metric names/samples end up in trace files and /metrics
+// responses, so secret material flowing into them is a disclosure exactly
+// like logging it. The clean paths — recording public indices, sizes and
+// durations — must stay silent.
+package telemetrysink
+
+import (
+	"fmt"
+
+	"yosompc/internal/sharing"
+	"yosompc/internal/telemetry"
+)
+
+// StampShareOnSpan records a share's secret value as a span attribute.
+func StampShareOnSpan(sp *telemetry.Span, sh sharing.Share) {
+	sp.SetStr("share", fmt.Sprint(sh.Value)) // want `secret value .* is recorded as a trace attribute by .*SetStr`
+}
+
+// CountByShare keys a metric by the secret value itself.
+func CountByShare(reg *telemetry.Registry, sh sharing.Share) {
+	reg.Counter(fmt.Sprintf("shares.%v", sh.Value)).Inc() // want `secret value .* flows into metrics sink .*Counter`
+}
+
+// ObserveShare feeds the secret value into a histogram sample.
+func ObserveShare(h *telemetry.Histogram, sh sharing.Share) {
+	h.Observe(float64(sh.Value.Uint64())) // want `secret value .* flows into metrics sink .*Observe`
+}
+
+// StampMetadata is the clean path: evaluation-point indices, byte sizes
+// and names are public by design and must not be flagged.
+func StampMetadata(sp *telemetry.Span, reg *telemetry.Registry, sh sharing.Share) {
+	sp.SetInt("index", int64(sh.Index))
+	sp.SetStr("holder", "off1/3")
+	reg.Counter("shares.delivered").Inc()
+	reg.Histogram("share.bytes", telemetry.SizeBuckets).Observe(16)
+}

@@ -51,7 +51,7 @@ func defaultInputs(c *circuit.Circuit) map[int][]field.Element {
 // communication report.
 func runCore(n, t, k int, circ *circuit.Circuit, adv *yoso.Adversary) (comm.Report, error) {
 	params := core.Params{N: n, T: t, K: k, TE: tte.NewSim(ModelBits), PKE: pke.NewSim(),
-		Adversary: adv, Workers: Workers}
+		Adversary: adv, Workers: Workers, Trace: Trace, Metrics: Metrics}
 	proto, err := core.New(params, circ, nil)
 	if err != nil {
 		return comm.Report{}, err

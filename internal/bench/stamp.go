@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"yosompc/internal/telemetry"
+)
+
+// Trace and Metrics instrument every measured core run, mirroring the
+// Workers knob: when set, the protocol executions behind the experiments
+// record spans and worker-pool metrics into them. The byte reports the
+// experiments are about are unaffected — telemetry observes the runs, it
+// never participates in them. nil (the default) disables collection at
+// zero cost.
+var (
+	Trace   *telemetry.Tracer
+	Metrics *telemetry.Registry
+)
+
+// Stamped is an experiment result bundled with the telemetry of the runs
+// that produced it, so a saved BENCH_*.json is self-describing: the
+// numbers plus the phase spans and engine metrics behind them.
+type Stamped struct {
+	// Experiment is the harness name of the series (e.g. "online").
+	Experiment string `json:"experiment"`
+	// Result is the experiment's own row/point structure, verbatim.
+	Result any `json:"result"`
+	// Metrics is the registry snapshot at stamping time, if enabled.
+	Metrics *telemetry.Snapshot `json:"metrics,omitempty"`
+	// Spans are the recorded protocol spans, if tracing was enabled.
+	Spans []telemetry.SpanRecord `json:"spans,omitempty"`
+}
+
+// Stamp bundles result with whatever telemetry the package-level Trace
+// and Metrics collected so far.
+func Stamp(experiment string, result any) Stamped {
+	s := Stamped{Experiment: experiment, Result: result}
+	if Metrics != nil {
+		snap := Metrics.Snapshot()
+		s.Metrics = &snap
+	}
+	if Trace != nil {
+		s.Spans = Trace.Spans()
+	}
+	return s
+}
+
+// WriteStamped writes the stamped result as indented JSON to
+// dir/BENCH_<experiment>.json and returns the path.
+func WriteStamped(dir, experiment string, result any) (string, error) {
+	data, err := json.MarshalIndent(Stamp(experiment, result), "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("bench: marshaling %s stamp: %w", experiment, err)
+	}
+	path := filepath.Join(dir, "BENCH_"+experiment+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("bench: writing %s stamp: %w", experiment, err)
+	}
+	return path, nil
+}

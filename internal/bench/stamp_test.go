@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"yosompc/internal/telemetry"
+)
+
+// A stamped experiment result must carry the telemetry of the measured
+// runs that produced it, and round-trip through JSON.
+func TestWriteStampedCarriesTelemetry(t *testing.T) {
+	Trace = telemetry.NewTracer()
+	Metrics = telemetry.NewRegistry()
+	defer func() { Trace, Metrics = nil, nil }()
+
+	pts, err := OfflineVsGates(8, 1, 2, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path, err := WriteStamped(dir, "offline", pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_offline.json" {
+		t.Fatalf("stamp path = %s", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Stamped
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("stamp does not parse: %v", err)
+	}
+	if got.Experiment != "offline" {
+		t.Errorf("experiment = %q", got.Experiment)
+	}
+	if len(got.Spans) == 0 {
+		t.Error("stamp has no spans despite tracing enabled")
+	}
+	var phases int
+	for _, sp := range got.Spans {
+		if sp.Name == "phase:offline" {
+			phases++
+		}
+	}
+	if phases == 0 {
+		t.Error("stamp has no phase:offline span")
+	}
+	if got.Metrics == nil || got.Metrics.Counters["core.pool.tasks"] == 0 {
+		t.Errorf("stamp metrics missing pool counters: %+v", got.Metrics)
+	}
+}
+
+// With telemetry disabled (the default), stamps stay lean: no spans, no
+// metrics block.
+func TestWriteStampedDisabled(t *testing.T) {
+	path, err := WriteStamped(t.TempDir(), "plain", map[string]int{"x": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]json.RawMessage
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got["spans"]; ok {
+		t.Error("disabled stamp contains spans")
+	}
+	if _, ok := got["metrics"]; ok {
+		t.Error("disabled stamp contains metrics")
+	}
+}

@@ -94,6 +94,12 @@ func (m *Meter) Report() Report {
 	return r
 }
 
+// Snapshot returns an immutable copy of the meter's current counts. It is
+// Report under a name that states its purpose: pairing two snapshots around
+// a region of work and diffing them yields the bytes attributable to that
+// region even while other goroutines keep calling Add.
+func (m *Meter) Snapshot() Report { return m.Report() }
+
 // Reset zeroes the meter.
 func (m *Meter) Reset() {
 	m.mu.Lock()
@@ -118,6 +124,66 @@ type Report struct {
 
 // Phase returns the byte count of one phase.
 func (r Report) Phase(p Phase) int64 { return r.ByPhase[p] }
+
+// Diff returns the difference r − prev: the traffic recorded between the
+// moment prev was snapshotted and the moment r was. Phases and categories
+// whose delta is zero are omitted, so an idle interval diffs to the zero
+// Report. prev must be an earlier snapshot of the same meter; counts only
+// grow, so every delta is non-negative.
+func (r Report) Diff(prev Report) Report {
+	d := Report{
+		Total:    r.Total - prev.Total,
+		Postings: r.Postings - prev.Postings,
+		ByPhase:  map[Phase]int64{},
+		ByCat:    map[Phase]map[Category]int64{},
+	}
+	for p, v := range r.ByPhase {
+		if dv := v - prev.ByPhase[p]; dv != 0 {
+			d.ByPhase[p] = dv
+		}
+	}
+	for p, cats := range r.ByCat {
+		for c, v := range cats {
+			var prevV int64
+			if prev.ByCat[p] != nil {
+				prevV = prev.ByCat[p][c]
+			}
+			if dv := v - prevV; dv != 0 {
+				if d.ByCat[p] == nil {
+					d.ByCat[p] = map[Category]int64{}
+				}
+				d.ByCat[p][c] = dv
+			}
+		}
+	}
+	return d
+}
+
+// Merge returns the sum of two reports — the inverse of Diff, used to
+// combine per-span deltas from independent meters (or disjoint intervals)
+// into one aggregate.
+func (r Report) Merge(other Report) Report {
+	s := Report{
+		Total:    r.Total + other.Total,
+		Postings: r.Postings + other.Postings,
+		ByPhase:  map[Phase]int64{},
+		ByCat:    map[Phase]map[Category]int64{},
+	}
+	for _, src := range []Report{r, other} {
+		for p, v := range src.ByPhase {
+			s.ByPhase[p] += v
+		}
+		for p, cats := range src.ByCat {
+			if s.ByCat[p] == nil {
+				s.ByCat[p] = map[Category]int64{}
+			}
+			for c, v := range cats {
+				s.ByCat[p][c] += v
+			}
+		}
+	}
+	return s
+}
 
 // PerGate returns phase bytes divided by the gate count.
 func (r Report) PerGate(p Phase, gates int) float64 {

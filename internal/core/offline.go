@@ -7,7 +7,6 @@ import (
 	"yosompc/internal/circuit"
 	"yosompc/internal/comm"
 	"yosompc/internal/field"
-	"yosompc/internal/parallel"
 	"yosompc/internal/pke"
 	"yosompc/internal/sharing"
 	"yosompc/internal/tte"
@@ -77,24 +76,41 @@ func (r *run) offline() error {
 		r.p.board.Post("setup-dealer", comm.PhaseSetup, comm.CatReshare, sh.Size()+48,
 			fmt.Sprintf("tsk-share for offDec/%d", i+1))
 	}
+	r.logStep("offline committees formed", "committees", 6, "size", p.N)
 
 	r.buildBatches()
+	r.logStep("mul batches built", "batches", len(r.batches), "k", p.K)
 
-	if err := r.offlineBeaver(); err != nil {
-		return fmt.Errorf("step 1 (Beaver): %w", err)
+	if err := r.offlineStep("beaver", "step 1 (Beaver)", r.offlineBeaver); err != nil {
+		return err
 	}
-	if err := r.offlineWireRandomness(); err != nil {
-		return fmt.Errorf("step 2 (wire randomness): %w", err)
+	if err := r.offlineStep("wire-randomness", "step 2 (wire randomness)", r.offlineWireRandomness); err != nil {
+		return err
 	}
-	if err := r.offlineDependentWires(); err != nil {
-		return fmt.Errorf("step 3 (dependent wires): %w", err)
+	if err := r.offlineStep("dependent-wires", "step 3 (dependent wires)", r.offlineDependentWires); err != nil {
+		return err
 	}
-	if err := r.offlinePack(); err != nil {
-		return fmt.Errorf("step 4 (packing): %w", err)
+	if err := r.offlineStep("packing", "step 4 (packing)", r.offlinePack); err != nil {
+		return err
 	}
-	if err := r.offReSpeak(); err != nil {
-		return fmt.Errorf("steps 5-6 (re-encrypt to KFFs): %w", err)
+	if err := r.offlineStep("reencrypt-to-kffs", "steps 5-6 (re-encrypt to KFFs)", r.offReSpeak); err != nil {
+		return err
 	}
+	return nil
+}
+
+// offlineStep runs one offline driver step inside a span and logs its
+// start and completion with the span ID — the offline phase's structured
+// progress trail (the online phase logs per committee step instead).
+func (r *run) offlineStep(name, label string, fn func() error) error {
+	sp := r.stepSpan("offline:" + name)
+	r.logSpan(sp, "offline step starting", "step", name)
+	err := fn()
+	sp.End()
+	if err != nil {
+		return fmt.Errorf("%s: %w", label, err)
+	}
+	r.logSpan(sp, "offline step complete", "step", name)
 	return nil
 }
 
@@ -180,7 +196,7 @@ func (r *run) offlineBeaver() error {
 	cC := make([]tte.Ciphertext, len(muls))
 	// "Everyone computes" the per-gate b/c sums — independent per gate, so
 	// the loop fans out over the worker pool, slot-indexed per gate.
-	if err := parallel.For(r.ctx, r.workers(), len(muls), func(g int) error {
+	if err := r.pfor(len(muls), func(g int) error {
 		var bParts, cParts []tte.Ciphertext
 		for i := 1; i <= r.offB2.N(); i++ {
 			payload, ok := bcPosts[i]
@@ -226,7 +242,7 @@ func (b bundle2) wireSize() int { return b.a.wireSize() + b.b.wireSize() }
 func (r *run) sumContributions(posts map[int]any, count int) ([]tte.Ciphertext, error) {
 	te := r.p.params.TE
 	out := make([]tte.Ciphertext, count)
-	err := parallel.For(r.ctx, r.workers(), count, func(pos int) error {
+	err := r.pfor(count, func(pos int) error {
 		var parts []tte.Ciphertext
 		for _, payload := range posts {
 			parts = append(parts, payload.(ctBundle).cts[pos])
@@ -360,7 +376,7 @@ func (r *run) offlineDependentWires() error {
 	// ε/δ ciphertexts per mul gate — independent per gate, slot-indexed so
 	// the opened order is identical to the serial path.
 	open := make([]tte.Ciphertext, 2*len(muls))
-	if err := parallel.For(r.ctx, r.workers(), len(muls), func(m int) error {
+	if err := r.pfor(len(muls), func(m int) error {
 		gi := muls[m]
 		g := gates[gi]
 		bt := r.beaver[gi]
@@ -387,7 +403,7 @@ func (r *run) offlineDependentWires() error {
 	// independent; results land in a slot-indexed slice and the gammaCt map
 	// is filled serially afterwards (map writes are not concurrency-safe).
 	gammas := make([]tte.Ciphertext, len(muls))
-	if err := parallel.For(r.ctx, r.workers(), len(muls), func(m int) error {
+	if err := r.pfor(len(muls), func(m int) error {
 		gi := muls[m]
 		g := gates[gi]
 		bt := r.beaver[gi]
@@ -523,7 +539,7 @@ func (r *run) storeHandoff(nextName string, posts map[int]any) {
 func (r *run) combineOpenings(open []tte.Ciphertext, posts map[int]any) ([]field.Element, error) {
 	te := r.p.params.TE
 	out := make([]field.Element, len(open))
-	err := parallel.For(r.ctx, r.workers(), len(open), func(j int) error {
+	err := r.pfor(len(open), func(j int) error {
 		var parts []tte.PartialDec
 		for _, payload := range posts {
 			dp, ok := payload.(decPayload)
@@ -587,9 +603,14 @@ func (r *run) offlinePack() error {
 	p := r.p.params
 	te := p.TE
 	gates := r.p.circ.Gates()
-	for _, b := range r.batches {
+	for bi, b := range r.batches {
+		sp := r.stepSpan("pack-batch")
+		sp.SetInt("batch", int64(bi))
+		sp.SetInt("gates", int64(b.k))
+		sp.SetInt("layer", int64(b.Layer))
 		rows, err := sharing.PackingLagrangeCoeffs(b.k, p.T, p.N)
 		if err != nil {
+			sp.End()
 			return err
 		}
 		left := make([]tte.Ciphertext, b.k)
@@ -606,7 +627,7 @@ func (r *run) offlinePack() error {
 			out := make([]tte.Ciphertext, p.N)
 			// One homomorphic interpolation per share index — the
 			// packing-helper hot loop, fanned out slot-indexed per index.
-			err := parallel.For(r.ctx, r.workers(), p.N, func(i int) error {
+			err := r.pfor(p.N, func(i int) error {
 				coeffs := make([]*big.Int, len(points))
 				for j := range coeffs {
 					coeffs[j] = fieldCoeff(rows[i][j])
@@ -624,14 +645,18 @@ func (r *run) offlinePack() error {
 			return out, nil
 		}
 		if b.packedLeft, err = pack(left, b.helpers[0]); err != nil {
+			sp.End()
 			return err
 		}
 		if b.packedRight, err = pack(right, b.helpers[1]); err != nil {
+			sp.End()
 			return err
 		}
 		if b.packedGamma, err = pack(gamma, b.helpers[2]); err != nil {
+			sp.End()
 			return err
 		}
+		sp.End()
 	}
 	return nil
 }

@@ -6,7 +6,6 @@ import (
 	"yosompc/internal/circuit"
 	"yosompc/internal/comm"
 	"yosompc/internal/field"
-	"yosompc/internal/parallel"
 	"yosompc/internal/pke"
 	"yosompc/internal/sharing"
 	"yosompc/internal/tte"
@@ -52,14 +51,21 @@ func (r *run) online(inputs map[int][]field.Element) (map[int][]field.Element, e
 	}
 
 	// Input: each client opens λ for its input wires and publishes μ = v−λ.
-	if err := r.onlineInput(inputs); err != nil {
+	sp := r.stepSpan("input")
+	err = r.onlineInput(inputs)
+	sp.End()
+	if err != nil {
 		return nil, fmt.Errorf("input: %w", err)
 	}
 	r.propagateLinear()
 
 	// Multiplication layers.
 	for l := 0; l < depth; l++ {
-		if err := r.onlineLayer(l); err != nil {
+		lsp := r.stepSpan("mu-layer")
+		lsp.SetInt("layer", int64(l+1))
+		err := r.onlineLayer(l)
+		lsp.End()
+		if err != nil {
 			return nil, fmt.Errorf("layer %d: %w", l+1, err)
 		}
 		r.propagateLinear()
@@ -793,6 +799,9 @@ func (r *run) onlineLayer(l int) error {
 
 	// Reconstruct μ^γ per batch from verified shares.
 	for bi, b := range layerBatches {
+		bsp := r.stepSpan("reconstruct-batch")
+		bsp.SetInt("batch", int64(bi))
+		bsp.SetInt("gates", int64(b.k))
 		var shares []sharing.Share
 		for i := 1; i <= c.N(); i++ {
 			raw, ok := posts[i]
@@ -803,6 +812,7 @@ func (r *run) onlineLayer(l int) error {
 		}
 		degree := p.T + 2*(b.k-1)
 		muGamma, err := reconstructShares(shares, degree, b.k)
+		bsp.End()
 		if err != nil {
 			return fmt.Errorf("batch %d: %w", bi, err)
 		}
@@ -829,7 +839,7 @@ func (r *run) layerStepRobust(c *yoso.Committee, l int,
 	// Members run on the worker pool; results stay slot-indexed. Honest
 	// errors are swallowed (treated as crashes), so the fan-out itself
 	// never fails.
-	_ = parallel.For(r.ctx, r.workers(), c.N(), func(idx0 int) error {
+	_ = r.pfor(c.N(), func(idx0 int) error {
 		idx := idx0 + 1
 		role := c.Role(idx)
 		switch role.Behavior {

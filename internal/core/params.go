@@ -31,6 +31,7 @@ import (
 
 	"yosompc/internal/parallel"
 	"yosompc/internal/pke"
+	"yosompc/internal/telemetry"
 	"yosompc/internal/tte"
 	"yosompc/internal/yoso"
 )
@@ -59,7 +60,18 @@ type Params struct {
 	Adversary *yoso.Adversary
 	// Logger, when non-nil, receives structured progress events (phase
 	// transitions, committee steps, exclusions). Nil disables logging.
+	// When Trace is also set, events carry the ID of the span they
+	// happened under, so logs and trace files cross-reference.
 	Logger *slog.Logger
+	// Trace, when non-nil, receives hierarchical spans (protocol → phase
+	// → committee step → member / gate batch) with wall-clock, board-byte
+	// deltas, and worker attribution. Nil disables tracing at zero cost:
+	// the instrumented paths call through nil-receiver no-ops.
+	Trace *telemetry.Tracer
+	// Metrics, when non-nil, receives the run's counters, gauges, and
+	// histograms (worker-pool utilization, queue depth). Nil disables
+	// metrics at zero cost.
+	Metrics *telemetry.Registry
 	// NoKFF disables the keys-for-future machinery — the paper's §3.2
 	// "naive" ablation: packed shares stay under tpk through the offline
 	// phase and the first online committee re-encrypts them to the (by

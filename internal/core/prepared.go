@@ -41,15 +41,25 @@ func (p *Protocol) Prepare() (*Prepared, error) {
 // discarded — correlations are never reused).
 func (p *Protocol) PrepareContext(ctx context.Context) (*Prepared, error) {
 	r := &run{p: p, ctx: ctx}
+	r.initTelemetry()
+	r.beginPhase("setup")
 	r.logStep("setup phase starting", "n", p.params.N, "t", p.params.T, "k", p.params.K)
 	if err := r.setup(); err != nil {
+		r.endPhase()
+		r.rootSp.End()
 		return nil, fmt.Errorf("core: setup: %w", err)
 	}
+	r.endPhase()
+	r.beginPhase("offline")
 	r.logStep("offline phase starting", "muls", p.circ.NumMul(), "depth", p.circ.Depth())
 	if err := r.offline(); err != nil {
+		r.endPhase()
+		r.rootSp.End()
 		return nil, fmt.Errorf("core: offline: %w", err)
 	}
-	r.logStep("preprocessing complete", "offline-bytes", p.board.Report().Phase(comm.PhaseOffline))
+	r.endPhase()
+	r.logSpan(r.rootSp, "preprocessing complete",
+		"offline-bytes", p.board.Report().Phase(comm.PhaseOffline))
 	return &Prepared{r: r}, nil
 }
 
@@ -74,12 +84,15 @@ func (pp *Prepared) Execute(inputs map[int][]field.Element) (*Result, error) {
 				ErrWrongInputs, client, len(inputs[client]), p.circ.InputCount(client))
 		}
 	}
+	pp.r.beginPhase("online")
 	pp.r.logStep("online phase starting")
 	outputs, err := pp.r.online(inputs)
+	pp.r.endPhase()
+	pp.r.rootSp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: online: %w", err)
 	}
-	pp.r.logStep("online phase complete", "online-bytes", p.board.Report().Phase(comm.PhaseOnline))
+	pp.r.logSpan(nil, "online phase complete", "online-bytes", p.board.Report().Phase(comm.PhaseOnline))
 	return &Result{
 		Outputs:  outputs,
 		Report:   p.board.Report(),

@@ -12,6 +12,7 @@ import (
 	"yosompc/internal/parallel"
 	"yosompc/internal/pke"
 	"yosompc/internal/sharing"
+	"yosompc/internal/telemetry"
 	"yosompc/internal/transport"
 	"yosompc/internal/tte"
 	"yosompc/internal/yoso"
@@ -174,6 +175,12 @@ type run struct {
 
 	// bookkeeping
 	excluded []string
+
+	// telemetry (all nil when disabled — every use is a nil-receiver
+	// no-op, so the hot paths stay allocation-free without branching)
+	rootSp  *telemetry.Span // whole-run span
+	phaseSp *telemetry.Span // currently open phase span
+	obs     parallel.Observer
 }
 
 // clientState is the driver's view of one client (an input/output role).
@@ -232,10 +239,65 @@ func (r *run) speak(role *yoso.Role, phase comm.Phase, cat comm.Category, label 
 }
 
 // logStep emits a structured progress event when a logger is configured.
+// Events under an open phase span carry its ID, so log lines and trace
+// files cross-reference.
 func (r *run) logStep(label string, attrs ...any) {
+	r.logSpan(r.phaseSp, label, attrs...)
+}
+
+// logSpan is logStep against an explicit span (phase transitions log
+// against the span they open, not the one they close).
+func (r *run) logSpan(sp *telemetry.Span, label string, attrs ...any) {
 	if lg := r.p.params.Logger; lg != nil {
+		if id := sp.ID(); id != 0 {
+			attrs = append([]any{"span", id}, attrs...)
+		}
 		lg.Info("yosompc: "+label, attrs...)
 	}
+}
+
+// initTelemetry opens the run's root span, bridges the tracer to the
+// board meter (spans then carry byte deltas), and builds the worker-pool
+// observer. With telemetry disabled everything stays nil.
+func (r *run) initTelemetry() {
+	pr := &r.p.params
+	pr.Trace.BindMeter(r.p.board.Meter())
+	r.rootSp = pr.Trace.Start("protocol")
+	r.rootSp.SetInt("n", int64(pr.N))
+	r.rootSp.SetInt("t", int64(pr.T))
+	r.rootSp.SetInt("k", int64(pr.K))
+	r.rootSp.SetInt("workers", int64(pr.EffectiveWorkers()))
+	if pr.Metrics != nil {
+		r.obs = telemetry.NewPoolStats(pr.Metrics, "core.pool", pr.EffectiveWorkers())
+	}
+}
+
+// beginPhase opens a phase span (setup/offline/online) under the run
+// root; step spans child from it until endPhase.
+func (r *run) beginPhase(name string) *telemetry.Span {
+	r.phaseSp = r.rootSp.Child("phase:" + name)
+	return r.phaseSp
+}
+
+// endPhase closes the current phase span.
+func (r *run) endPhase() {
+	r.phaseSp.End()
+	r.phaseSp = nil
+}
+
+// stepSpan opens a span under the current phase (or the run root outside
+// any phase). Nil — and allocation-free — when tracing is disabled.
+func (r *run) stepSpan(name string) *telemetry.Span {
+	if r.phaseSp != nil {
+		return r.phaseSp.Child(name)
+	}
+	return r.rootSp.Child(name)
+}
+
+// pfor fans fn over the run's worker pool, feeding per-task events to
+// the pool observer when metrics are enabled.
+func (r *run) pfor(n int, fn func(i int) error) error {
+	return parallel.ForObserved(r.ctx, r.workers(), n, fn, r.obs)
 }
 
 func (r *run) statement(label, roleName string) []byte {
@@ -272,19 +334,27 @@ func (r *run) committeeStep(c *yoso.Committee, phase comm.Phase, cat comm.Catego
 			return nil, fmt.Errorf("core: %s: %w", label, err)
 		}
 	}
+	sp := r.stepSpan("committee:" + label)
+	sp.SetStr("committee", c.Name)
+	sp.SetInt("members", int64(c.N()))
 	results := make([]*rolePost, c.N())
-	err := parallel.For(r.ctx, r.workers(), c.N(), func(idx0 int) error {
+	err := parallel.ForWorker(r.ctx, r.workers(), c.N(), func(worker, idx0 int) error {
+		msp := sp.Child("member")
+		msp.SetInt("index", int64(idx0+1))
+		msp.SetWorker(worker)
 		idx := idx0 + 1
 		post, err := r.speak(c.Role(idx), phase, cat, label,
 			func() (sized, error) { return honest(idx) },
 			func() sized { return malicious(idx) })
+		msp.End()
 		if err != nil {
 			return err
 		}
 		results[idx0] = post
 		return nil
-	})
+	}, r.obs)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	verified := make(map[int]any, c.N())
@@ -295,11 +365,13 @@ func (r *run) committeeStep(c *yoso.Committee, phase comm.Phase, cat comm.Catego
 			verified[idx] = post.payload
 		} else {
 			r.excluded = append(r.excluded, fmt.Sprintf("%s@%s (%s)", role.Name(), label, role.Behavior))
-			r.logStep("role excluded", "role", role.Name(), "step", label, "behavior", role.Behavior.String())
+			r.logSpan(sp, "role excluded", "role", role.Name(), "step", label, "behavior", role.Behavior.String())
 		}
 	}
 	c.SpeakAll()
-	r.logStep("committee spoke", "committee", c.Name, "step", label,
+	sp.SetInt("verified", int64(len(verified)))
+	sp.End()
+	r.logSpan(sp, "committee spoke", "committee", c.Name, "step", label,
 		"verified", len(verified), "of", c.N())
 	return verified, nil
 }

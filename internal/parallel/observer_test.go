@@ -1,0 +1,122 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recorder is a race-safe test Observer.
+type recorder struct {
+	mu     sync.Mutex
+	tasks  map[int]int // task -> worker
+	queued []int
+	busy   time.Duration
+}
+
+func (r *recorder) TaskDone(worker, task int, d time.Duration, queued int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.tasks == nil {
+		r.tasks = map[int]int{}
+	}
+	if _, dup := r.tasks[task]; dup {
+		panic("task observed twice")
+	}
+	r.tasks[task] = worker
+	r.queued = append(r.queued, queued)
+	r.busy += d
+}
+
+func TestForObservedSerial(t *testing.T) {
+	rec := &recorder{}
+	const n = 5
+	err := ForObserved(context.Background(), 1, n, func(i int) error {
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.tasks) != n {
+		t.Fatalf("observed %d tasks, want %d", len(rec.tasks), n)
+	}
+	for task, worker := range rec.tasks {
+		if worker != 0 {
+			t.Fatalf("serial task %d on worker %d", task, worker)
+		}
+	}
+	// Serial queue depth drains deterministically: n-1, n-2, ..., 0.
+	for i, q := range rec.queued {
+		if q != n-i-1 {
+			t.Fatalf("queued[%d] = %d, want %d", i, q, n-i-1)
+		}
+	}
+	if rec.busy < n*100*time.Microsecond {
+		t.Fatalf("busy %v below total sleep time", rec.busy)
+	}
+}
+
+func TestForObservedPool(t *testing.T) {
+	rec := &recorder{}
+	const n, workers = 40, 4
+	err := ForObserved(context.Background(), workers, n, func(i int) error {
+		time.Sleep(50 * time.Microsecond)
+		return nil
+	}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.tasks) != n {
+		t.Fatalf("observed %d tasks, want %d", len(rec.tasks), n)
+	}
+	for task, worker := range rec.tasks {
+		if worker < 0 || worker >= workers {
+			t.Fatalf("task %d attributed to out-of-range worker %d", task, worker)
+		}
+	}
+	for i, q := range rec.queued {
+		if q < 0 || q >= n {
+			t.Fatalf("queued[%d] = %d out of range", i, q)
+		}
+	}
+}
+
+func TestForObservedErrorStillObserves(t *testing.T) {
+	boom := errors.New("boom")
+	rec := &recorder{}
+	err := ForObserved(context.Background(), 1, 10, func(i int) error {
+		if i == 3 {
+			return boom
+		}
+		return nil
+	}, rec)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// The failing task is observed too (4 tasks ran: 0,1,2,3).
+	if len(rec.tasks) != 4 {
+		t.Fatalf("observed %d tasks, want 4", len(rec.tasks))
+	}
+}
+
+// TestForObservedNilMatchesFor pins that For delegates to the unobserved
+// path: identical coverage with a nil observer.
+func TestForObservedNilMatchesFor(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	err := ForObserved(context.Background(), 3, 20, func(i int) error {
+		mu.Lock()
+		seen[i] = true
+		mu.Unlock()
+		return nil
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 20 {
+		t.Fatalf("covered %d of 20", len(seen))
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DefaultWorkers is the worker count an unset (zero) configuration means:
@@ -40,6 +41,34 @@ func Normalize(workers int) int {
 // A nil ctx is treated as context.Background(); a ctx cancelled before or
 // during the loop aborts it with ctx's error.
 func For(ctx context.Context, workers, n int, fn func(i int) error) error {
+	return ForObserved(ctx, workers, n, fn, nil)
+}
+
+// Observer receives one event per completed loop iteration. Implementations
+// must be safe for concurrent use: workers report independently.
+//
+// The interface is structural so the telemetry layer can satisfy it without
+// this package importing it; callers with telemetry disabled must pass a
+// nil Observer (not a typed nil boxed into the interface).
+type Observer interface {
+	// TaskDone reports that iteration task finished on worker slot
+	// `worker` after running for d, with `queued` iterations not yet
+	// started at that moment (the engine's queue depth).
+	TaskDone(worker, task int, d time.Duration, queued int)
+}
+
+// ForObserved is For with per-task observation. A nil obs adds no work at
+// all — not even clock reads — so the unobserved loop stays the engine's
+// zero-overhead reference path.
+func ForObserved(ctx context.Context, workers, n int, fn func(i int) error, obs Observer) error {
+	return ForWorker(ctx, workers, n, func(_, i int) error { return fn(i) }, obs)
+}
+
+// ForWorker is ForObserved where fn also receives the worker slot running
+// the iteration (0 on the serial path) — the hook worker-attributed
+// tracing needs. Worker identity never affects scheduling or results;
+// it is attribution only.
+func ForWorker(ctx context.Context, workers, n int, fn func(worker, i int) error, obs Observer) error {
 	if n <= 0 {
 		return nil
 	}
@@ -54,7 +83,16 @@ func For(ctx context.Context, workers, n int, fn func(i int) error) error {
 					return err
 				}
 			}
-			if err := fn(i); err != nil {
+			if obs == nil {
+				if err := fn(0, i); err != nil {
+					return err
+				}
+				continue
+			}
+			start := time.Now()
+			err := fn(0, i)
+			obs.TaskDone(0, i, time.Since(start), n-i-1)
+			if err != nil {
 				return err
 			}
 		}
@@ -79,7 +117,7 @@ func For(ctx context.Context, workers, n int, fn func(i int) error) error {
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
@@ -89,12 +127,26 @@ func For(ctx context.Context, workers, n int, fn func(i int) error) error {
 				if err := gctx.Err(); err != nil {
 					return
 				}
-				if err := fn(i); err != nil {
+				if obs == nil {
+					if err := fn(w, i); err != nil {
+						fail(err)
+						return
+					}
+					continue
+				}
+				start := time.Now()
+				err := fn(w, i)
+				queued := n - int(next.Load())
+				if queued < 0 {
+					queued = 0
+				}
+				obs.TaskDone(w, i, time.Since(start), queued)
+				if err != nil {
 					fail(err)
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if first != nil {

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// WriteJSONL writes one completed SpanRecord per line in deterministic
+// order — the grep/jq-friendly export.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, rec := range t.Spans() {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one trace_event entry. "ph":"X" is a complete event:
+// name + start + duration, the shape chrome://tracing and Perfetto load
+// directly.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeDoc is the JSON-object trace container.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the spans as a Chrome trace_event document.
+// Worker-attributed spans land on thread lane worker+1; everything else
+// (the protocol and phase spans) on lane 0.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	doc := chromeDoc{TraceEvents: make([]chromeEvent, 0, len(spans)), DisplayTimeUnit: "ms"}
+	for _, rec := range spans {
+		ev := chromeEvent{
+			Name: rec.Name,
+			Ph:   "X",
+			Ts:   rec.StartUS,
+			Dur:  rec.DurUS,
+			Pid:  1,
+			Tid:  rec.Worker + 1,
+		}
+		args := map[string]any{"id": rec.ID}
+		if rec.Parent != 0 {
+			args["parent"] = rec.Parent
+		}
+		if rec.Bytes != 0 {
+			args["bytes"] = rec.Bytes
+			args["postings"] = rec.Postings
+		}
+		for k, v := range rec.Ints {
+			args[k] = v
+		}
+		for k, v := range rec.Strs {
+			args[k] = v
+		}
+		ev.Args = args
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// WriteTraceFile writes the tracer to path, choosing the format by
+// extension: ".jsonl" gets the line-oriented span export, anything else
+// the Chrome trace_event document.
+func WriteTraceFile(path string, t *Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = t.WriteJSONL(f)
+	} else {
+		err = t.WriteChromeTrace(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("telemetry: write trace %s: %w", path, err)
+	}
+	return nil
+}
+
+// WriteMetricsFile writes the registry snapshot as indented JSON.
+func WriteMetricsFile(path string, r *Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(r.Snapshot())
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("telemetry: write metrics %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the HTTP exposition surface:
+//
+//	/metrics       registry snapshot as JSON
+//	/trace         completed spans as a Chrome trace_event document
+//	/trace.jsonl   completed spans as JSONL
+//	/debug/vars    expvar (Go runtime memstats and cmdline)
+//	/debug/pprof/  net/http/pprof profiles (heap, goroutine, CPU, ...)
+//
+// reg and tr may be nil; their endpoints then serve empty documents. The
+// handler is mounted behind an explicit flag by the commands — profiling
+// endpoints are never on by default.
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Snapshot())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = tr.WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/trace.jsonl", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl")
+		_ = tr.WriteJSONL(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

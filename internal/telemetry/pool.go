@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"fmt"
+	"time"
+)
+
+// PoolStats adapts a Registry to the parallel engine's Observer contract
+// (structural — this package does not import internal/parallel): one
+// TaskDone event per completed loop iteration yields worker-utilization
+// counters and a queue-depth gauge under a caller-chosen prefix.
+//
+// Metrics emitted, for prefix P and worker slot w:
+//
+//	P.tasks            counter, completed iterations
+//	P.busy_ns          counter, summed task wall-clock across workers
+//	P.busy_ns.w<w>     counter, per-worker busy time (utilization numerator)
+//	P.task_ns          histogram of per-task durations
+//	P.queue_depth      gauge, tasks not yet started when the event fired
+//	P.workers          gauge, pool size the stats were built for
+//
+// Utilization over an interval is busy_ns / (workers · interval).
+type PoolStats struct {
+	tasks  *Counter
+	busy   *Counter
+	taskNS *Histogram
+	queue  *Gauge
+	perW   []*Counter
+}
+
+// NewPoolStats registers the pool metrics for a pool of the given
+// (normalized) size. A nil registry returns nil; callers must then pass a
+// nil Observer to the engine rather than boxing the nil *PoolStats into a
+// non-nil interface.
+func NewPoolStats(reg *Registry, prefix string, workers int) *PoolStats {
+	if reg == nil {
+		return nil
+	}
+	p := &PoolStats{
+		tasks:  reg.Counter(prefix + ".tasks"),
+		busy:   reg.Counter(prefix + ".busy_ns"),
+		taskNS: reg.Histogram(prefix+".task_ns", DurationBuckets),
+		queue:  reg.Gauge(prefix + ".queue_depth"),
+		perW:   make([]*Counter, workers),
+	}
+	for w := range p.perW {
+		p.perW[w] = reg.Counter(fmt.Sprintf("%s.busy_ns.w%d", prefix, w))
+	}
+	reg.Gauge(prefix + ".workers").Set(int64(workers))
+	return p
+}
+
+// TaskDone implements the parallel engine's Observer.
+func (p *PoolStats) TaskDone(worker, task int, d time.Duration, queued int) {
+	if p == nil {
+		return
+	}
+	ns := d.Nanoseconds()
+	p.tasks.Inc()
+	p.busy.Add(ns)
+	p.taskNS.Observe(float64(ns))
+	p.queue.Set(int64(queued))
+	if worker >= 0 && worker < len(p.perW) {
+		p.perW[worker].Add(ns)
+	}
+}

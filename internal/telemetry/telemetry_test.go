@@ -1,0 +1,210 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"yosompc/internal/comm"
+)
+
+func TestSpanHierarchyAndOrder(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("protocol")
+	a := root.Child("offline")
+	a.SetInt("muls", 12)
+	a.SetStr("backend", "sim")
+	a.SetWorker(3)
+	time.Sleep(time.Millisecond)
+	a.End()
+	b := root.Child("online")
+	b.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	// Deterministic order: by start time, so root first.
+	if spans[0].Name != "protocol" || spans[1].Name != "offline" || spans[2].Name != "online" {
+		t.Fatalf("order = %s,%s,%s", spans[0].Name, spans[1].Name, spans[2].Name)
+	}
+	if spans[1].Parent != spans[0].ID || spans[2].Parent != spans[0].ID {
+		t.Fatalf("children not parented to root: %+v", spans)
+	}
+	if spans[1].Ints["muls"] != 12 || spans[1].Strs["backend"] != "sim" {
+		t.Fatalf("attrs lost: %+v", spans[1])
+	}
+	if spans[1].Worker != 3 || spans[0].Worker != -1 {
+		t.Fatalf("worker attribution: got %d/%d", spans[1].Worker, spans[0].Worker)
+	}
+	if spans[1].DurUS < 900 {
+		t.Fatalf("offline span duration %dµs, slept 1ms", spans[1].DurUS)
+	}
+	if spans[0].DurUS < spans[1].DurUS {
+		t.Fatalf("root shorter than child: %d < %d", spans[0].DurUS, spans[1].DurUS)
+	}
+}
+
+func TestSpanMeterBridge(t *testing.T) {
+	m := &comm.Meter{}
+	tr := NewTracer()
+	tr.BindMeter(m)
+
+	m.Add(comm.PhaseSetup, comm.CatCRS, 10) // before the span: excluded
+	s := tr.Start("offline")
+	m.Add(comm.PhaseOffline, comm.CatBeaver, 100)
+	m.Add(comm.PhaseOffline, comm.CatProof, 11)
+	s.End()
+	m.Add(comm.PhaseOnline, comm.CatMu, 5) // after the span: excluded
+
+	spans := tr.Spans()
+	if spans[0].Bytes != 111 || spans[0].Postings != 2 {
+		t.Fatalf("span bytes/postings = %d/%d, want 111/2", spans[0].Bytes, spans[0].Postings)
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start("x")
+	if s != nil {
+		t.Fatal("nil tracer must start nil spans")
+	}
+	c := s.Child("y")
+	c.SetInt("k", 1)
+	c.SetStr("k", "v")
+	c.SetWorker(2)
+	c.End()
+	s.End()
+	if s.ID() != 0 {
+		t.Fatal("nil span ID must be 0")
+	}
+	if got := tr.Spans(); got != nil {
+		t.Fatalf("nil tracer spans = %v", got)
+	}
+	tr.BindMeter(&comm.Meter{})
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil tracer JSONL: err=%v len=%d", err, buf.Len())
+	}
+}
+
+func TestConcurrentSpansRace(t *testing.T) {
+	tr := NewTracer()
+	tr.BindMeter(&comm.Meter{})
+	root := tr.Start("root")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s := root.Child("member")
+				s.SetWorker(g)
+				s.SetInt("i", int64(i))
+				s.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	root.End()
+	if got := len(tr.Spans()); got != 8*50+1 {
+		t.Fatalf("got %d spans, want %d", got, 8*50+1)
+	}
+}
+
+func TestWriteJSONLParses(t *testing.T) {
+	tr := NewTracer()
+	s := tr.Start("a")
+	s.Child("b").End()
+	s.End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var n int
+	for sc.Scan() {
+		var rec SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d: %v", n, err)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("got %d JSONL lines, want 2", n)
+	}
+}
+
+func TestWriteChromeTraceParses(t *testing.T) {
+	tr := NewTracer()
+	s := tr.Start("phase")
+	c := s.Child("batch")
+	c.SetWorker(1)
+	c.SetInt("gates", 4)
+	c.End()
+	s.End()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   *int64         `json:"ts"`
+			Dur  *int64         `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.Ts == nil || ev.Dur == nil {
+			t.Fatalf("event not a complete event: %+v", ev)
+		}
+	}
+	// Worker-attributed span lands on its worker lane.
+	if doc.TraceEvents[1].Tid != 2 {
+		t.Fatalf("batch tid = %d, want 2 (worker 1)", doc.TraceEvents[1].Tid)
+	}
+	if doc.TraceEvents[1].Args["gates"] != float64(4) {
+		t.Fatalf("args lost: %+v", doc.TraceEvents[1].Args)
+	}
+}
+
+func TestWriteTraceFileFormats(t *testing.T) {
+	dir := t.TempDir()
+	tr := NewTracer()
+	tr.Start("x").End()
+
+	jl := dir + "/trace.jsonl"
+	if err := WriteTraceFile(jl, tr); err != nil {
+		t.Fatal(err)
+	}
+	ct := dir + "/trace.json"
+	if err := WriteTraceFile(ct, tr); err != nil {
+		t.Fatal(err)
+	}
+	jlb, ctb := mustRead(t, jl), mustRead(t, ct)
+	if !json.Valid([]byte(strings.TrimSpace(string(jlb)))) {
+		t.Fatal("jsonl line is not valid JSON")
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(ctb, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc["traceEvents"]; !ok {
+		t.Fatal("chrome trace missing traceEvents")
+	}
+}

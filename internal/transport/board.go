@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"yosompc/internal/comm"
+	"yosompc/internal/telemetry"
 )
 
 // Posting is one board entry.
@@ -37,6 +38,22 @@ type Board struct {
 	postings  []Posting
 	meter     *comm.Meter
 	observers []func(Posting)
+
+	// Telemetry instruments; nil (no-op, zero cost) until Instrument is
+	// called.
+	postCount *telemetry.Counter   // board.posts
+	postBytes *telemetry.Histogram // board.post_bytes
+}
+
+// Instrument registers the in-process board's posting metrics on reg
+// (board.posts counter, board.post_bytes size histogram). Call it before
+// the board takes traffic; a nil registry is a no-op.
+func (b *Board) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	b.postCount = reg.Counter("board.posts")
+	b.postBytes = reg.Histogram("board.post_bytes", telemetry.SizeBuckets)
 }
 
 // NewBoard creates a board writing byte counts to meter. A nil meter
@@ -55,6 +72,8 @@ func (b *Board) Post(from string, phase comm.Phase, cat comm.Category, size int,
 		panic(fmt.Sprintf("transport: negative posting size %d", size))
 	}
 	b.meter.Add(phase, cat, size)
+	b.postCount.Inc()
+	b.postBytes.Observe(float64(size))
 	b.mu.Lock()
 	seq := len(b.postings)
 	p := Posting{Seq: seq, From: from, Phase: phase, Category: cat, Size: size, Payload: payload}

@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"yosompc/internal/comm"
+	"yosompc/internal/telemetry"
 )
 
 // A networked bulletin-board service: the deployment-shaped counterpart of
@@ -77,7 +79,43 @@ type Server struct {
 	subs    map[*subscriber]struct{}
 	closed  bool
 
+	// Telemetry instruments, nil (no-op, zero cost) until Instrument is
+	// called. Time is only read when the corresponding histogram is set.
+	postCount *telemetry.Counter   // transport.posts
+	postBytes *telemetry.Histogram // transport.post_bytes
+	postNS    *telemetry.Histogram // transport.post_ns
+	tailNS    *telemetry.Histogram // transport.tail_write_ns
+	resyncs   *telemetry.Counter   // transport.tail_resyncs
+	tailLag   *telemetry.Gauge     // transport.tail_lag_max
+	reaps     *telemetry.Counter   // transport.conn_reaps
+
 	wg sync.WaitGroup
+}
+
+// Instrument registers the server's transport metrics on reg and starts
+// recording:
+//
+//	transport.posts         counter    accepted post requests
+//	transport.post_bytes    histogram  metered posting sizes
+//	transport.post_ns       histogram  post handling latency
+//	transport.tail_write_ns histogram  per-entry tail delivery latency
+//	transport.tail_resyncs  counter    gapped-subscription log re-syncs
+//	transport.tail_lag_max  gauge      largest backlog a re-sync replayed
+//	transport.conn_reaps    counter    dead tail connections reaped
+//
+// Call it before the server takes traffic; a nil registry leaves the
+// server uninstrumented at zero cost.
+func (s *Server) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.postCount = reg.Counter("transport.posts")
+	s.postBytes = reg.Histogram("transport.post_bytes", telemetry.SizeBuckets)
+	s.postNS = reg.Histogram("transport.post_ns", telemetry.DurationBuckets)
+	s.tailNS = reg.Histogram("transport.tail_write_ns", telemetry.DurationBuckets)
+	s.resyncs = reg.Counter("transport.tail_resyncs")
+	s.tailLag = reg.Gauge("transport.tail_lag_max")
+	s.reaps = reg.Counter("transport.conn_reaps")
 }
 
 // Serve starts a server on the listener and returns immediately; Close
@@ -171,6 +209,10 @@ func (s *Server) post(req request) (int, error) {
 	if req.From == "" {
 		return 0, errors.New("missing poster")
 	}
+	var start time.Time
+	if s.postNS != nil {
+		start = time.Now()
+	}
 	s.meter.Add(comm.Phase(req.Phase), comm.Category(req.Category), req.Size)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -192,6 +234,11 @@ func (s *Server) post(req request) (int, error) {
 			// loop re-syncs from the entry log before delivering more.
 			sub.gapped = true
 		}
+	}
+	s.postCount.Inc()
+	s.postBytes.Observe(float64(req.Size))
+	if s.postNS != nil {
+		s.postNS.Observe(float64(time.Since(start)))
 	}
 	return e.Seq, nil
 }
@@ -233,6 +280,7 @@ func (s *Server) tail(conn net.Conn, enc *json.Encoder, since int) {
 				if _, ok := s.subs[sub]; ok {
 					delete(s.subs, sub)
 					close(sub.ch)
+					s.reaps.Inc()
 				}
 				s.mu.Unlock()
 				return
@@ -246,8 +294,15 @@ func (s *Server) tail(conn net.Conn, enc *json.Encoder, since int) {
 		if e.Seq < next {
 			return true
 		}
+		var start time.Time
+		if s.tailNS != nil {
+			start = time.Now()
+		}
 		if err := enc.Encode(e); err != nil {
 			return false
+		}
+		if s.tailNS != nil {
+			s.tailNS.Observe(float64(time.Since(start)))
 		}
 		next = e.Seq + 1
 		return true
@@ -267,6 +322,8 @@ func (s *Server) tail(conn net.Conn, enc *json.Encoder, since int) {
 		if sub.gapped || e.Seq > next {
 			resync = append(resync, s.entries[next:]...)
 			sub.gapped = false
+			s.resyncs.Inc()
+			s.tailLag.Max(int64(len(resync)))
 		}
 		s.mu.Unlock()
 		for _, re := range resync {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"yosompc/internal/comm"
+	"yosompc/internal/telemetry"
 )
 
 // Regression: the Tail reader goroutine used to block forever on `out <- e`
@@ -65,6 +66,8 @@ func TestSlowTailerSeesEverySeq(t *testing.T) {
 	// on its first write, so posts deterministically overflow the
 	// subscription channel and exercise the gapped/re-sync path.
 	s := &Server{meter: &comm.Meter{}, subs: map[*subscriber]struct{}{}}
+	reg := telemetry.NewRegistry()
+	s.Instrument(reg)
 	srv, cli := net.Pipe()
 	defer srv.Close()
 	defer cli.Close()
@@ -73,6 +76,23 @@ func TestSlowTailerSeesEverySeq(t *testing.T) {
 		defer close(done)
 		s.tail(srv, json.NewEncoder(srv), 0)
 	}()
+
+	// Wait until the subscription is registered, so the posts below go
+	// through the live channel (and overflow it) rather than being picked
+	// up as backlog — backlog delivery never gaps.
+	waitDeadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		n := len(s.subs)
+		s.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(waitDeadline) {
+			t.Fatal("tail subscription never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
 
 	// Overflow the subscription channel (capacity tailBuffer) while the
 	// consumer reads nothing: the excess posts must mark the sub gapped.
@@ -106,10 +126,77 @@ func TestSlowTailerSeesEverySeq(t *testing.T) {
 		t.Fatalf("post after drain has seq %d, want %d", e.Seq, posts)
 	}
 
+	// The slow tailer must be visible in the transport metrics: the
+	// overflow forced at least one gapped re-sync, the lag gauge records
+	// how much log the re-sync replayed, and every post was counted.
+	snap := reg.Snapshot()
+	if snap.Counters["transport.tail_resyncs"] == 0 {
+		t.Error("transport.tail_resyncs never incremented despite overflow")
+	}
+	if snap.Gauges["transport.tail_lag_max"] <= 0 {
+		t.Errorf("transport.tail_lag_max = %d, want > 0", snap.Gauges["transport.tail_lag_max"])
+	}
+	if got := snap.Counters["transport.posts"]; got != posts+1 {
+		t.Errorf("transport.posts = %d, want %d", got, posts+1)
+	}
+	if got := snap.Histograms["transport.post_bytes"].Count; got != posts+1 {
+		t.Errorf("transport.post_bytes count = %d, want %d", got, posts+1)
+	}
+	if snap.Histograms["transport.tail_write_ns"].Count == 0 {
+		t.Error("transport.tail_write_ns histogram empty")
+	}
+
 	cli.Close()
 	select {
 	case <-done:
 	case <-time.After(5 * time.Second):
 		t.Fatal("tail loop did not exit after connection close")
+	}
+}
+
+// A tailer that goes away without unsubscribing must be reaped by the
+// connection watcher — and the reap must be observable via the
+// transport.conn_reaps counter.
+func TestDeadTailerReapCounted(t *testing.T) {
+	s := startServer(t)
+	reg := telemetry.NewRegistry()
+	s.Instrument(reg)
+
+	// Open a tail subscription with no posts pending: the tail loop parks
+	// on its subscription channel, so only the conn watcher can notice the
+	// client dying.
+	entries, stop, err := Tail(s.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the subscription is registered server-side.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		n := len(s.subs)
+		s.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("tail subscription never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for time.Now().Before(deadline) {
+		if reg.Snapshot().Counters["transport.conn_reaps"] == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := reg.Snapshot().Counters["transport.conn_reaps"]; got != 1 {
+		t.Fatalf("transport.conn_reaps = %d, want 1", got)
+	}
+	// Drain whatever the closed channel held.
+	for range entries {
 	}
 }

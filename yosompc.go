@@ -40,6 +40,7 @@ import (
 	"yosompc/internal/paillier"
 	"yosompc/internal/pke"
 	"yosompc/internal/sortition"
+	"yosompc/internal/telemetry"
 	"yosompc/internal/transport"
 	"yosompc/internal/tte"
 	"yosompc/internal/yoso"
@@ -142,6 +143,39 @@ type Config struct {
 	// communication report and audit totals are identical for every value
 	// — only wall clock changes.
 	Workers int
+	// Trace, when non-nil, records hierarchical protocol → phase →
+	// committee → role spans for the run (export with WriteTraceFile or
+	// Tracer.WriteChromeTrace). nil disables tracing at zero cost.
+	Trace *Tracer
+	// Metrics, when non-nil, receives worker-pool counters and histograms
+	// from the execution engine. nil disables collection at zero cost.
+	Metrics *MetricsRegistry
+}
+
+// Tracer records hierarchical spans of a protocol run; see
+// internal/telemetry and docs/OBSERVABILITY.md. A nil *Tracer is a valid
+// disabled tracer.
+type Tracer = telemetry.Tracer
+
+// MetricsRegistry collects counters, gauges and histograms; a nil
+// *MetricsRegistry is a valid disabled registry.
+type MetricsRegistry = telemetry.Registry
+
+// NewTracer returns an enabled span tracer for Config.Trace.
+func NewTracer() *Tracer { return telemetry.NewTracer() }
+
+// NewMetricsRegistry returns an enabled metrics registry for
+// Config.Metrics.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// WriteTraceFile writes a recorded trace to path: Chrome trace_event JSON
+// by default (load in chrome://tracing or https://ui.perfetto.dev), span
+// JSONL when path ends in .jsonl.
+func WriteTraceFile(path string, t *Tracer) error { return telemetry.WriteTraceFile(path, t) }
+
+// WriteMetricsFile writes a deterministic JSON snapshot of the registry.
+func WriteMetricsFile(path string, r *MetricsRegistry) error {
+	return telemetry.WriteMetricsFile(path, r)
 }
 
 // Report re-exports the communication report type.
@@ -165,7 +199,10 @@ func (c Config) coreParams() (core.Params, error) {
 	if c.Malicious > 0 || c.FailStops > 0 || c.Leaky > 0 {
 		adv = &yoso.Adversary{Malicious: c.Malicious, FailStops: c.FailStops, Leaky: c.Leaky, Seed: c.Seed}
 	}
-	params := core.Params{N: c.N, T: c.T, K: c.K, Adversary: adv, Robust: c.Robust, Workers: c.Workers}
+	params := core.Params{
+		N: c.N, T: c.T, K: c.K, Adversary: adv, Robust: c.Robust, Workers: c.Workers,
+		Trace: c.Trace, Metrics: c.Metrics,
+	}
 	switch c.Backend {
 	case Real:
 		te, err := tte.NewThreshold(paillier.FixedTestKey(0))
