@@ -22,7 +22,9 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "all | table1 | online | improvement | offline | failstop | robust | amortization | totalcost | ablation | speedup")
+		experiment = flag.String("experiment", "all", "all | table1 | online | improvement | offline | failstop | robust | amortization | totalcost | ablation | sharing | speedup")
+		sharingN   = flag.Int("sharing-nmax", 1024, "E12 largest committee size (powers of 4 from 64 up to this)")
+		sharingR   = flag.Int("sharing-reps", 3, "E12 timed repetitions per figure")
 		widthMult  = flag.Int("widthmult", 16, "E2 workload width multiplier (width = widthmult·n·k)")
 		eps        = flag.Float64("eps", 0.25, "gap ε for measured sweeps")
 		workers    = flag.Int("workers", 0, "worker-pool size for all measured runs (0 = one per CPU, 1 = serial)")
@@ -171,6 +173,21 @@ func main() {
 		fmt.Print(bench.FormatTotalCost(pts))
 		fmt.Println()
 		return stamp("totalcost", pts)
+	})
+
+	run("sharing", func() error {
+		var ns []int
+		for n := 64; n <= *sharingN; n *= 4 {
+			ns = append(ns, n)
+		}
+		rows, err := bench.SharingHotpath(ns, *sharingR)
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== E12: packed share algebra, cached domain vs naive (measured) ===")
+		fmt.Print(bench.FormatSharingHotpath(rows))
+		fmt.Println()
+		return stamp("sharing_hotpath", rows)
 	})
 
 	// E11 is wall-clock heavy (two full offline phases at n=64), so it

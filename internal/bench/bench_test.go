@@ -245,3 +245,26 @@ func TestAmortizationCurve(t *testing.T) {
 		}
 	}
 }
+
+func TestSharingHotpath(t *testing.T) {
+	rows, err := SharingHotpath([]int{64}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.N != 64 || r.K != 16 || r.D != 32 {
+		t.Errorf("geometry = (n=%d k=%d d=%d), want (64, 16, 32)", r.N, r.K, r.D)
+	}
+	if !r.Identical {
+		t.Error("domain and naive reconstruction diverged")
+	}
+	if r.ShareNaive <= 0 || r.ShareDomain <= 0 {
+		t.Errorf("non-positive timings: %+v", r)
+	}
+	if _, err := SharingHotpath([]int{2}, 1); err == nil {
+		t.Error("n=2 (k=0) accepted")
+	}
+}

@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"yosompc/internal/field"
+	"yosompc/internal/sharing"
+)
+
+// SharingHotpathRow is one committee size of E12: wall-clock per-operation
+// cost of the packed share algebra, cached-domain engine versus the seed
+// naive interpolation path, with a bit-identity cross-check. Geometry is
+// the protocol's own: k = n/4 packed secrets on degree d = n/2.
+type SharingHotpathRow struct {
+	K, D, N int
+	// Reps is how many timed repetitions each figure averages over.
+	Reps int
+	// Per-operation wall clock of SharePacked / SharePackedNaive and
+	// ReconstructPacked / ReconstructPackedNaive.
+	ShareDomain, ShareNaive time.Duration
+	ReconDomain, ReconNaive time.Duration
+	// ShareSpeedup / ReconSpeedup are naive÷domain.
+	ShareSpeedup, ReconSpeedup float64
+	// Identical reports that the domain and naive reconstruction paths
+	// returned bit-identical secrets, equal to the shared vector.
+	Identical bool
+}
+
+// SharingHotpath measures E12 for the given committee sizes. The domain
+// cache is warmed before timing, so the domain figures are the amortized
+// steady state every offline batch after the first sees; the naive
+// figures are the per-call cost the cache removes. When the package
+// Metrics registry is set, the sharing domain-cache counters are mirrored
+// into it (and therefore into the stamped artifact).
+func SharingHotpath(ns []int, reps int) ([]SharingHotpathRow, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	if Metrics != nil {
+		sharing.Instrument(Metrics)
+	}
+	rows := make([]SharingHotpathRow, 0, len(ns))
+	for _, n := range ns {
+		k, d := n/4, n/2
+		if k < 1 {
+			return nil, fmt.Errorf("bench: sharing hotpath: n=%d too small", n)
+		}
+		secrets, err := field.RandomVec(k)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sharing.GetDomain(k, d, n); err != nil {
+			return nil, err
+		}
+		measure := func(op func() error) (time.Duration, error) {
+			start := time.Now()
+			for r := 0; r < reps; r++ {
+				if err := op(); err != nil {
+					return 0, err
+				}
+			}
+			return time.Since(start) / time.Duration(reps), nil
+		}
+		row := SharingHotpathRow{K: k, D: d, N: n, Reps: reps}
+		if row.ShareDomain, err = measure(func() error {
+			_, err := sharing.SharePacked(secrets, d, n)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		if row.ShareNaive, err = measure(func() error {
+			_, err := sharing.SharePackedNaive(secrets, d, n)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		shares, err := sharing.SharePacked(secrets, d, n)
+		if err != nil {
+			return nil, err
+		}
+		if row.ReconDomain, err = measure(func() error {
+			_, err := sharing.ReconstructPacked(shares, d, k)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		if row.ReconNaive, err = measure(func() error {
+			_, err := sharing.ReconstructPackedNaive(shares, d, k)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		fast, err := sharing.ReconstructPacked(shares, d, k)
+		if err != nil {
+			return nil, err
+		}
+		naive, err := sharing.ReconstructPackedNaive(shares, d, k)
+		if err != nil {
+			return nil, err
+		}
+		row.Identical = field.EqualVec(fast, naive) && field.EqualVec(fast, secrets)
+		if row.ShareDomain > 0 {
+			row.ShareSpeedup = float64(row.ShareNaive) / float64(row.ShareDomain)
+		}
+		if row.ReconDomain > 0 {
+			row.ReconSpeedup = float64(row.ReconNaive) / float64(row.ReconDomain)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatSharingHotpath renders E12.
+func FormatSharingHotpath(rows []SharingHotpathRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-6s %-6s %14s %14s %9s %14s %14s %9s %s\n",
+		"n", "k", "d", "share(domain)", "share(naive)", "speedup",
+		"recon(domain)", "recon(naive)", "speedup", "identical")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6d %-6d %-6d %14s %14s %8.1f× %14s %14s %8.1f× %v\n",
+			r.N, r.K, r.D,
+			r.ShareDomain.Round(time.Microsecond), r.ShareNaive.Round(time.Microsecond), r.ShareSpeedup,
+			r.ReconDomain.Round(time.Microsecond), r.ReconNaive.Round(time.Microsecond), r.ReconSpeedup,
+			r.Identical)
+	}
+	return b.String()
+}

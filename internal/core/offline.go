@@ -608,10 +608,24 @@ func (r *run) offlinePack() error {
 		sp.SetInt("batch", int64(bi))
 		sp.SetInt("gates", int64(b.k))
 		sp.SetInt("layer", int64(b.Layer))
-		rows, err := sharing.PackingLagrangeCoeffs(b.k, p.T, p.N)
-		if err != nil {
-			sp.End()
-			return err
+		// The l_j(i) coefficient rows come straight from the cached
+		// evaluation domain — shared across batches of the same width and
+		// across runs, with no per-batch clone. Shapes outside the domain
+		// envelope (never produced by valid Params) fall back to the
+		// general helper.
+		var (
+			rowAt func(i int) []field.Element
+			err   error
+		)
+		if dom, derr := sharing.GetDomain(b.k, p.T+b.k-1, p.N); derr == nil {
+			rowAt = func(i int) []field.Element { return dom.ShareRow(i + 1) }
+		} else {
+			var rows [][]field.Element
+			if rows, err = sharing.PackingLagrangeCoeffs(b.k, p.T, p.N); err != nil {
+				sp.End()
+				return err
+			}
+			rowAt = func(i int) []field.Element { return rows[i] }
 		}
 		left := make([]tte.Ciphertext, b.k)
 		right := make([]tte.Ciphertext, b.k)
@@ -628,9 +642,10 @@ func (r *run) offlinePack() error {
 			// One homomorphic interpolation per share index — the
 			// packing-helper hot loop, fanned out slot-indexed per index.
 			err := r.pfor(p.N, func(i int) error {
+				row := rowAt(i)
 				coeffs := make([]*big.Int, len(points))
 				for j := range coeffs {
-					coeffs[j] = fieldCoeff(rows[i][j])
+					coeffs[j] = fieldCoeff(row[j])
 				}
 				ct, err := te.Eval(r.tpk, points, coeffs)
 				if err != nil {

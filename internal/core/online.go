@@ -704,6 +704,10 @@ func (r *run) onlineLayer(l int) error {
 	}
 	muLeft := make([][]field.Element, len(layerBatches))
 	muRight := make([][]field.Element, len(layerBatches))
+	// One cached constant-packing domain per batch width, fetched outside
+	// the per-member closure: every ConstantPackedShare below is then a
+	// precomputed-row inner product with no cache lookup in the hot loop.
+	constDoms := make([]*sharing.ConstDomain, len(layerBatches))
 	for bi, b := range layerBatches {
 		muLeft[bi] = make([]field.Element, b.k)
 		muRight[bi] = make([]field.Element, b.k)
@@ -715,6 +719,11 @@ func (r *run) onlineLayer(l int) error {
 			muLeft[bi][j] = r.mu[g.A]
 			muRight[bi][j] = r.mu[g.B]
 		}
+		cd, err := sharing.GetConstDomain(b.k)
+		if err != nil {
+			return err
+		}
+		constDoms[bi] = cd
 	}
 
 	computeShares := func(i int) (sized, error) {
@@ -746,11 +755,11 @@ func (r *run) onlineLayer(l int) error {
 			}
 			r.p.audit.Record(comm.PhaseOnline, ValPackedShare, keyClass)
 			la, lb, lg := reduceToField(lamA), reduceToField(lamB), reduceToField(lamG)
-			sa, err := sharing.ConstantPackedShare(muLeft[bi], i)
+			sa, err := constDoms[bi].Share(muLeft[bi], i)
 			if err != nil {
 				return nil, err
 			}
-			sb, err := sharing.ConstantPackedShare(muRight[bi], i)
+			sb, err := constDoms[bi].Share(muRight[bi], i)
 			if err != nil {
 				return nil, err
 			}

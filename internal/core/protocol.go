@@ -269,6 +269,9 @@ func (r *run) initTelemetry() {
 	r.rootSp.SetInt("workers", int64(pr.EffectiveWorkers()))
 	if pr.Metrics != nil {
 		r.obs = telemetry.NewPoolStats(pr.Metrics, "core.pool", pr.EffectiveWorkers())
+		// Mirror the share-algebra domain-cache counters into this run's
+		// registry (process-global cache: last instrumented run wins).
+		sharing.Instrument(pr.Metrics)
 	}
 }
 

@@ -163,22 +163,21 @@ func (p Polynomial) String() string {
 
 // Interpolate returns the unique polynomial of degree < len(xs) passing
 // through all (xs[i], ys[i]). The xs must be pairwise distinct.
+//
+// The construction is Newton's divided differences — O(n²) field
+// operations — not the O(n³) sum of scaled Lagrange basis polynomials
+// (which remains available through LagrangeBasis for callers that need
+// the basis itself). Interpolation is unique, so the two constructions
+// return bit-identical polynomials; TestInterpolateMatchesLagrangeBasis
+// pins that.
 func Interpolate(xs, ys []field.Element) (Polynomial, error) {
 	if len(xs) != len(ys) {
 		return Polynomial{}, fmt.Errorf("poly: interpolate: %d points vs %d values", len(xs), len(ys))
 	}
-	if len(xs) == 0 {
-		return Polynomial{}, nil
-	}
-	basis, err := LagrangeBasis(xs)
-	if err != nil {
+	if err := checkDistinct(xs); err != nil {
 		return Polynomial{}, err
 	}
-	acc := Zero()
-	for i := range ys {
-		acc = acc.Add(basis[i].ScalarMul(ys[i]))
-	}
-	return acc, nil
+	return interpolateNewton(xs, ys)
 }
 
 // LagrangeBasis returns the Lagrange basis polynomials L_i for the point set

@@ -1,0 +1,74 @@
+package sharing
+
+import (
+	"context"
+	"fmt"
+
+	"yosompc/internal/field"
+	"yosompc/internal/parallel"
+)
+
+// ShareManyPacked produces one degree-d packed sharing per secret vector in
+// secretsBatch, fanning the per-sharing matrix applications over at most
+// `workers` goroutines (parallel.Normalize semantics: <1 means one per CPU,
+// 1 is the serial reference path).
+//
+// Randomness is sampled serially, in batch order, before the fan-out — so
+// for a deterministic randomness source the output is byte-for-byte
+// independent of the worker count, matching the engine-wide determinism
+// contract of internal/parallel. The shares themselves are identical to
+// calling SharePacked once per vector.
+func ShareManyPacked(ctx context.Context, secretsBatch [][]field.Element, d, n, workers int) ([][]Share, error) {
+	if len(secretsBatch) == 0 {
+		return nil, nil
+	}
+	rnds := make([][]field.Element, len(secretsBatch))
+	for b, secrets := range secretsBatch {
+		if err := validateParams(n, d, len(secrets)); err != nil {
+			return nil, fmt.Errorf("sharing: batch entry %d: %w", b, err)
+		}
+		rnd, err := field.RandomVec(d + 1 - len(secrets))
+		if err != nil {
+			return nil, err
+		}
+		rnds[b] = rnd
+	}
+	out := make([][]Share, len(secretsBatch))
+	err := parallel.For(ctx, workers, len(secretsBatch), func(b int) error {
+		dom, err := GetDomain(len(secretsBatch[b]), d, n)
+		if err != nil {
+			return fmt.Errorf("sharing: batch entry %d: %w", b, err)
+		}
+		out[b] = dom.shareWith(secretsBatch[b], rnds[b])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReconstructManyPacked recovers the k packed secrets of every sharing in
+// sharesBatch (all of claimed degree d), fanning over at most `workers`
+// goroutines. Results are slot-indexed: out[b] corresponds to
+// sharesBatch[b] regardless of scheduling, and each entry is identical to
+// calling ReconstructPacked on it. The first failing entry aborts the
+// remaining work and is returned with its batch index.
+func ReconstructManyPacked(ctx context.Context, sharesBatch [][]Share, d, k, workers int) ([][]field.Element, error) {
+	if len(sharesBatch) == 0 {
+		return nil, nil
+	}
+	out := make([][]field.Element, len(sharesBatch))
+	err := parallel.For(ctx, workers, len(sharesBatch), func(b int) error {
+		secrets, err := ReconstructPacked(sharesBatch[b], d, k)
+		if err != nil {
+			return fmt.Errorf("sharing: batch entry %d: %w", b, err)
+		}
+		out[b] = secrets
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,386 @@
+package sharing
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"yosompc/internal/field"
+	"yosompc/internal/poly"
+	"yosompc/internal/telemetry"
+)
+
+// domainShapes is the (k, d, n) grid the differential tests sweep:
+// standard Shamir, minimal degree (no auxiliary randomness), packed with
+// and without redundancy, and committee-sized cases.
+var domainShapes = []struct{ k, d, n int }{
+	{1, 0, 1},
+	{1, 3, 8},
+	{3, 2, 4}, // d = k-1: zero auxiliary randomness points
+	{3, 5, 8},
+	{4, 7, 16},
+	{5, 9, 10},
+	{8, 15, 33},
+}
+
+func assertSharesEqual(t *testing.T, fast, naive []Share, label string) {
+	t.Helper()
+	if len(fast) != len(naive) {
+		t.Fatalf("%s: %d vs %d shares", label, len(fast), len(naive))
+	}
+	for i := range fast {
+		if fast[i] != naive[i] {
+			t.Fatalf("%s: share %d: domain=%+v naive=%+v", label, i, fast[i], naive[i])
+		}
+	}
+}
+
+// TestSharePackedMatchesNaive drives the cached domain and the seed
+// Lagrange-basis path from identical randomness and demands bit-identical
+// shares across the shape grid.
+func TestSharePackedMatchesNaive(t *testing.T) {
+	for _, s := range domainShapes {
+		secrets := field.MustRandomVec(s.k)
+		rnd := field.MustRandomVec(s.d + 1 - s.k)
+		dom, err := GetDomain(s.k, s.d, s.n)
+		if err != nil {
+			t.Fatalf("GetDomain(%+v): %v", s, err)
+		}
+		naive, err := sharePackedNaiveWith(secrets, rnd, s.d, s.n)
+		if err != nil {
+			t.Fatalf("naive(%+v): %v", s, err)
+		}
+		assertSharesEqual(t, dom.shareWith(secrets, rnd), naive, "k/d/n shape")
+	}
+}
+
+// TestReconstructPackedMatchesNaive checks the canonical fast path, the
+// non-canonical barycentric fallback, and corruption-detection parity
+// (identical error text) against ReconstructPackedNaive.
+func TestReconstructPackedMatchesNaive(t *testing.T) {
+	for _, s := range domainShapes {
+		secrets := field.MustRandomVec(s.k)
+		shares, err := SharePacked(secrets, s.d, s.n)
+		if err != nil {
+			t.Fatalf("SharePacked(%+v): %v", s, err)
+		}
+
+		// Canonical: full committee, extras as consistency probes.
+		fast, err := ReconstructPacked(shares, s.d, s.k)
+		if err != nil {
+			t.Fatalf("ReconstructPacked(full, %+v): %v", s, err)
+		}
+		naive, err := ReconstructPackedNaive(shares, s.d, s.k)
+		if err != nil {
+			t.Fatalf("ReconstructPackedNaive(full, %+v): %v", s, err)
+		}
+		if !field.EqualVec(fast, naive) || !field.EqualVec(fast, secrets) {
+			t.Fatalf("full-set reconstruction mismatch: fast=%v naive=%v want=%v", fast, naive, secrets)
+		}
+
+		// Non-canonical: tail subset, indices not 1..d+1.
+		tail := shares[s.n-(s.d+1):]
+		fast, err = ReconstructPacked(tail, s.d, s.k)
+		if err != nil {
+			t.Fatalf("ReconstructPacked(tail, %+v): %v", s, err)
+		}
+		naive, err = ReconstructPackedNaive(tail, s.d, s.k)
+		if err != nil {
+			t.Fatalf("ReconstructPackedNaive(tail, %+v): %v", s, err)
+		}
+		if !field.EqualVec(fast, naive) || !field.EqualVec(fast, secrets) {
+			t.Fatalf("tail reconstruction mismatch: fast=%v naive=%v want=%v", fast, naive, secrets)
+		}
+
+		// Corruption parity: when redundancy exists, both paths must reject
+		// a tampered redundant share with the same error.
+		if s.n > s.d+1 {
+			tampered := make([]Share, s.n)
+			copy(tampered, shares)
+			tampered[s.n-1].Value = tampered[s.n-1].Value.Add(field.One)
+			_, fastErr := ReconstructPacked(tampered, s.d, s.k)
+			_, naiveErr := ReconstructPackedNaive(tampered, s.d, s.k)
+			if !errors.Is(fastErr, ErrInconsistentShares) || !errors.Is(naiveErr, ErrInconsistentShares) {
+				t.Fatalf("tampering missed: fast=%v naive=%v", fastErr, naiveErr)
+			}
+			if fastErr.Error() != naiveErr.Error() {
+				t.Fatalf("error text diverged: fast=%q naive=%q", fastErr, naiveErr)
+			}
+		}
+	}
+}
+
+// TestReconstructPackedDuplicateIndexParity: a repeated share index in the
+// interpolation prefix must fail closed as ErrDuplicatePoint on both paths.
+func TestReconstructPackedDuplicateIndexParity(t *testing.T) {
+	shares := []Share{
+		{Index: 3, Value: field.New(7)},
+		{Index: 1, Value: field.New(9)},
+		{Index: 3, Value: field.New(11)},
+	}
+	_, fastErr := ReconstructPacked(shares, 2, 1)
+	_, naiveErr := ReconstructPackedNaive(shares, 2, 1)
+	if !errors.Is(fastErr, poly.ErrDuplicatePoint) {
+		t.Errorf("fast path: %v, want ErrDuplicatePoint", fastErr)
+	}
+	if !errors.Is(naiveErr, poly.ErrDuplicatePoint) {
+		t.Errorf("naive path: %v, want ErrDuplicatePoint", naiveErr)
+	}
+}
+
+// TestConstantPackedMatchesNaive pins the cached constant-packing rows
+// against direct Lagrange evaluation, including slot-coinciding (index 0),
+// negative (uncached) and growth-forcing large indices.
+func TestConstantPackedMatchesNaive(t *testing.T) {
+	for _, k := range []int{1, 2, 5, 9} {
+		c := field.MustRandomVec(k)
+		for _, index := range []int{-3, 0, 1, 2, 7, 40, 41, 129} {
+			fast, err := ConstantPackedShare(c, index)
+			if err != nil {
+				t.Fatalf("ConstantPackedShare(k=%d, i=%d): %v", k, index, err)
+			}
+			naive, err := constantPackedShareNaive(c, index)
+			if err != nil {
+				t.Fatalf("naive(k=%d, i=%d): %v", k, index, err)
+			}
+			if fast != naive {
+				t.Fatalf("k=%d index=%d: domain=%+v naive=%+v", k, index, fast, naive)
+			}
+		}
+		shares, err := ConstantPacked(c, 17)
+		if err != nil {
+			t.Fatalf("ConstantPacked(k=%d): %v", k, err)
+		}
+		for i, s := range shares {
+			naive, err := constantPackedShareNaive(c, i+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s != naive {
+				t.Fatalf("k=%d: ConstantPacked share %d = %+v, naive %+v", k, i, s, naive)
+			}
+		}
+		// Width mismatch must fail closed.
+		cd, err := GetConstDomain(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cd.Share(append(field.CloneVec(c), field.One), 1); err == nil {
+			t.Fatalf("k=%d: width mismatch accepted", k)
+		}
+	}
+	if _, err := ConstantPacked(nil, 4); err == nil {
+		t.Error("empty public vector accepted")
+	}
+}
+
+// TestPackingLagrangeCoeffsMatchesReference pins both the cached-domain
+// route and the out-of-envelope fallback against per-row LagrangeCoeffs,
+// and checks that returned rows are safely mutable.
+func TestPackingLagrangeCoeffsMatchesReference(t *testing.T) {
+	shapes := []struct{ k, t, n int }{
+		{1, 0, 1},  // domain route, degenerate
+		{2, 3, 8},  // domain route
+		{3, 0, 5},  // domain route, d = k-1
+		{2, 5, 4},  // fallback: degree t+k-1 = 6 > n-1
+		{1, 4, 3},  // fallback
+		{4, 13, 9}, // fallback
+	}
+	for _, s := range shapes {
+		rows, err := PackingLagrangeCoeffs(s.k, s.t, s.n)
+		if err != nil {
+			t.Fatalf("PackingLagrangeCoeffs(%+v): %v", s, err)
+		}
+		xs := SlotPoints(s.k)
+		for i := 1; i <= s.t; i++ {
+			xs = append(xs, field.New(uint64(i)))
+		}
+		for i := 1; i <= s.n; i++ {
+			want, err := poly.LagrangeCoeffs(xs, ShareIndexPoint(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !field.EqualVec(rows[i-1], want) {
+				t.Fatalf("shape %+v row %d differs from LagrangeCoeffs", s, i)
+			}
+		}
+	}
+	// Mutating a returned row must not poison the cache.
+	rows, err := PackingLagrangeCoeffs(2, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := field.CloneVec(rows[0])
+	rows[0][0] = rows[0][0].Add(field.One)
+	again, err := PackingLagrangeCoeffs(2, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !field.EqualVec(again[0], saved) {
+		t.Fatal("mutating a PackingLagrangeCoeffs row corrupted the cached domain")
+	}
+	if _, err := PackingLagrangeCoeffs(0, 1, 4); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := PackingLagrangeCoeffs(1, -1, 4); err == nil {
+		t.Error("t=-1 accepted")
+	}
+}
+
+// TestDomainCacheStatsAndInstrument checks miss-then-hit accounting and
+// the mirroring of the counters into a telemetry registry.
+func TestDomainCacheStatsAndInstrument(t *testing.T) {
+	resetDomainCaches()
+	reg := telemetry.NewRegistry()
+	Instrument(reg)
+	defer Instrument(nil)
+
+	if _, err := GetDomain(2, 3, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GetDomain(2, 3, 8); err != nil {
+		t.Fatal(err)
+	}
+	getReconDomain(3, 2)
+	getReconDomain(3, 2)
+	if _, err := GetConstDomain(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GetConstDomain(2); err != nil {
+		t.Fatal(err)
+	}
+
+	hits, misses := DomainCacheStats()
+	if hits != 3 || misses != 3 {
+		t.Fatalf("stats = (%d hits, %d misses), want (3, 3)", hits, misses)
+	}
+	if v := reg.Counter("sharing.domain_cache_hits").Value(); v != 3 {
+		t.Errorf("telemetry hits = %d, want 3", v)
+	}
+	if v := reg.Counter("sharing.domain_cache_misses").Value(); v != 3 {
+		t.Errorf("telemetry misses = %d, want 3", v)
+	}
+}
+
+// TestDomainCacheConcurrent hammers every cache — full domains,
+// reconstruction domains, constant rows (growth path) — from many
+// goroutines, with cache resets interleaved, under the race detector.
+func TestDomainCacheConcurrent(t *testing.T) {
+	resetDomainCaches()
+	secretsByShape := make([][]field.Element, len(domainShapes))
+	for i, s := range domainShapes {
+		secretsByShape[i] = field.MustRandomVec(s.k)
+	}
+	const goroutines = 8
+	const iters = 40
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				s := domainShapes[(g+it)%len(domainShapes)]
+				secrets := secretsByShape[(g+it)%len(domainShapes)]
+				shares, err := SharePacked(secrets, s.d, s.n)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got, err := ReconstructPacked(shares, s.d, s.k)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !field.EqualVec(got, secrets) {
+					t.Errorf("shape %+v: round trip mismatch", s)
+					return
+				}
+				// Constant-row growth races: ever-larger indices.
+				if _, err := ConstantPackedShare(secrets, 1+g*iters+it); err != nil {
+					t.Error(err)
+					return
+				}
+				if g == 0 && it%16 == 0 {
+					resetDomainCaches()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestShareManyPacked checks the batch sharing API: every entry
+// reconstructs to its secrets (via the independent naive path), for the
+// serial and parallel worker configurations, and parameter errors carry
+// the batch index.
+func TestShareManyPacked(t *testing.T) {
+	batch := [][]field.Element{
+		field.MustRandomVec(2),
+		field.MustRandomVec(4),
+		field.MustRandomVec(1),
+		field.MustRandomVec(4),
+	}
+	for _, workers := range []int{1, 4} {
+		out, err := ShareManyPacked(context.Background(), batch, 7, 16, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != len(batch) {
+			t.Fatalf("workers=%d: %d sharings, want %d", workers, len(out), len(batch))
+		}
+		for b, shares := range out {
+			got, err := ReconstructPackedNaive(shares, 7, len(batch[b]))
+			if err != nil {
+				t.Fatalf("workers=%d entry %d: %v", workers, b, err)
+			}
+			if !field.EqualVec(got, batch[b]) {
+				t.Fatalf("workers=%d entry %d: round trip mismatch", workers, b)
+			}
+		}
+	}
+	if out, err := ShareManyPacked(context.Background(), nil, 7, 16, 4); err != nil || out != nil {
+		t.Fatalf("empty batch: (%v, %v)", out, err)
+	}
+	_, err := ShareManyPacked(context.Background(), [][]field.Element{field.MustRandomVec(1), field.MustRandomVec(9)}, 7, 16, 4)
+	if err == nil || !strings.Contains(err.Error(), "entry 1") {
+		t.Fatalf("oversized entry: %v, want batch-indexed parameter error", err)
+	}
+}
+
+// TestReconstructManyPacked checks the batch reconstruction API against
+// per-entry ReconstructPacked and batch-indexed error propagation.
+func TestReconstructManyPacked(t *testing.T) {
+	const d, k, n = 5, 3, 8
+	batch := make([][]Share, 6)
+	secrets := make([][]field.Element, len(batch))
+	for b := range batch {
+		secrets[b] = field.MustRandomVec(k)
+		shares, err := SharePacked(secrets[b], d, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch[b] = shares
+	}
+	for _, workers := range []int{1, 3} {
+		out, err := ReconstructManyPacked(context.Background(), batch, d, k, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for b := range batch {
+			if !field.EqualVec(out[b], secrets[b]) {
+				t.Fatalf("workers=%d entry %d: got %v, want %v", workers, b, out[b], secrets[b])
+			}
+		}
+	}
+	// Corrupt one entry: the error must identify it and wrap the sentinel.
+	batch[4][n-1].Value = batch[4][n-1].Value.Add(field.One)
+	_, err := ReconstructManyPacked(context.Background(), batch, d, k, 1)
+	if !errors.Is(err, ErrInconsistentShares) || !strings.Contains(err.Error(), "entry 4") {
+		t.Fatalf("corrupted batch entry: %v", err)
+	}
+	if out, err := ReconstructManyPacked(context.Background(), nil, d, k, 2); err != nil || out != nil {
+		t.Fatalf("empty batch: (%v, %v)", out, err)
+	}
+}

@@ -81,6 +81,109 @@ func FuzzShamirRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzDomainVsNaive differentially fuzzes the cached evaluation-domain
+// engine against the seed Lagrange-basis reference: both paths are driven
+// from identical fuzz-derived secrets AND randomness (through the
+// shareWith / sharePackedNaiveWith seam), so any divergence — in share
+// values, reconstructed secrets, or error behaviour — is a bug in one of
+// them, not a sampling artifact.
+func FuzzDomainVsNaive(f *testing.F) {
+	f.Add(uint8(1), uint8(0), uint8(1), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint8(4), uint8(7), uint8(16), []byte{0xff, 0xee, 0xdd, 0xcc})
+	f.Add(uint8(3), uint8(2), uint8(4), []byte{})
+	f.Add(uint8(9), uint8(200), uint8(255), []byte{9, 9, 9, 9, 9, 9, 9, 9, 1})
+	f.Fuzz(func(t *testing.T, kRaw, dRaw, nRaw uint8, data []byte) {
+		n := 1 + int(nRaw)%32
+		d := int(dRaw) % n
+		k := 1 + int(kRaw)%(d+1)
+
+		at := func(i int) field.Element {
+			var chunk [8]byte
+			copy(chunk[:], data[min(8*i, len(data)):])
+			return field.New(binary.LittleEndian.Uint64(chunk[:]))
+		}
+		secrets := make([]field.Element, k)
+		for j := range secrets {
+			secrets[j] = at(j)
+		}
+		rnd := make([]field.Element, d+1-k)
+		for j := range rnd {
+			rnd[j] = at(k + j)
+		}
+
+		dom, err := GetDomain(k, d, n)
+		if err != nil {
+			t.Fatalf("GetDomain(k=%d d=%d n=%d): %v", k, d, n, err)
+		}
+		fast := dom.shareWith(secrets, rnd)
+		naive, err := sharePackedNaiveWith(secrets, rnd, d, n)
+		if err != nil {
+			t.Fatalf("naive share: %v", err)
+		}
+		for i := range fast {
+			if fast[i] != naive[i] {
+				t.Fatalf("share %d: domain=%+v naive=%+v", i, fast[i], naive[i])
+			}
+		}
+
+		// Canonical full-set reconstruction, both paths.
+		gotFast, err := ReconstructPacked(fast, d, k)
+		if err != nil {
+			t.Fatalf("ReconstructPacked: %v", err)
+		}
+		gotNaive, err := ReconstructPackedNaive(naive, d, k)
+		if err != nil {
+			t.Fatalf("ReconstructPackedNaive: %v", err)
+		}
+		if !field.EqualVec(gotFast, gotNaive) || !field.EqualVec(gotFast, secrets) {
+			t.Fatalf("reconstruction: fast=%v naive=%v want=%v", gotFast, gotNaive, secrets)
+		}
+
+		// Non-canonical tail subset, both paths.
+		tail := fast[n-(d+1):]
+		gotFast, err = ReconstructPacked(tail, d, k)
+		if err != nil {
+			t.Fatalf("ReconstructPacked(tail): %v", err)
+		}
+		gotNaive, err = ReconstructPackedNaive(tail, d, k)
+		if err != nil {
+			t.Fatalf("ReconstructPackedNaive(tail): %v", err)
+		}
+		if !field.EqualVec(gotFast, gotNaive) {
+			t.Fatalf("tail reconstruction: fast=%v naive=%v", gotFast, gotNaive)
+		}
+
+		// Corruption parity when redundancy exists: same detection, same
+		// error text.
+		if n > d+1 {
+			tampered := make([]Share, n)
+			copy(tampered, fast)
+			tampered[n-1].Value = tampered[n-1].Value.Add(field.One)
+			_, fastErr := ReconstructPacked(tampered, d, k)
+			_, naiveErr := ReconstructPackedNaive(tampered, d, k)
+			if !errors.Is(fastErr, ErrInconsistentShares) || !errors.Is(naiveErr, ErrInconsistentShares) {
+				t.Fatalf("tampering: fast=%v naive=%v", fastErr, naiveErr)
+			}
+			if fastErr.Error() != naiveErr.Error() {
+				t.Fatalf("error text diverged: fast=%q naive=%q", fastErr, naiveErr)
+			}
+		}
+
+		// Constant-packing rows for the same k.
+		cFast, err := ConstantPackedShare(secrets, n)
+		if err != nil {
+			t.Fatalf("ConstantPackedShare: %v", err)
+		}
+		cNaive, err := constantPackedShareNaive(secrets, n)
+		if err != nil {
+			t.Fatalf("constantPackedShareNaive: %v", err)
+		}
+		if cFast != cNaive {
+			t.Fatalf("constant share: domain=%+v naive=%+v", cFast, cNaive)
+		}
+	})
+}
+
 func assertSecrets(t *testing.T, want, got []field.Element, from string) {
 	t.Helper()
 	if len(got) != len(want) {

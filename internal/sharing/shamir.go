@@ -92,12 +92,52 @@ func validateParams(n, d, k int) error {
 // points and is uniformly random subject to that constraint (d-k+1 free
 // coefficients are sampled uniformly by interpolating through d-k+1 extra
 // random points).
+//
+// The shares are computed by the cached evaluation-domain engine (see
+// domain.go): one precomputed n×(d+1) coefficient matrix per (k, d, n),
+// applied to (secrets ‖ randomness) — bit-identical to SharePackedNaive
+// for the same randomness, amortized O(n·d) instead of O(n³) per call.
 func SharePacked(secrets []field.Element, d, n int) ([]Share, error) {
 	k := len(secrets)
 	if err := validateParams(n, d, k); err != nil {
 		return nil, err
 	}
-	f, err := randomPolynomialThrough(secrets, d)
+	rnd, err := field.RandomVec(d + 1 - k)
+	if err != nil {
+		return nil, err
+	}
+	dom, err := GetDomain(k, d, n)
+	if err != nil {
+		return nil, err
+	}
+	return dom.shareWith(secrets, rnd), nil
+}
+
+// SharePackedNaive is the reference implementation of SharePacked:
+// interpolate the sharing polynomial through (slots ‖ auxiliary
+// randomness) by the original sum-of-scaled-Lagrange-basis construction,
+// then evaluate it at every share index. It consumes randomness
+// identically to SharePacked and produces identically distributed shares;
+// the differential tests and FuzzDomainVsNaive pin the cached engine
+// against it bit-for-bit. Use it for cross-checking and benchmarking
+// only — it is the O(n³)-per-call path the domain engine exists to
+// avoid, kept deliberately independent of the Newton and barycentric
+// code the fast paths are built on.
+func SharePackedNaive(secrets []field.Element, d, n int) ([]Share, error) {
+	k := len(secrets)
+	if err := validateParams(n, d, k); err != nil {
+		return nil, err
+	}
+	rnd, err := field.RandomVec(d + 1 - k)
+	if err != nil {
+		return nil, err
+	}
+	return sharePackedNaiveWith(secrets, rnd, d, n)
+}
+
+// sharePackedNaiveWith is SharePackedNaive below the randomness seam.
+func sharePackedNaiveWith(secrets, rnd []field.Element, d, n int) ([]Share, error) {
+	f, err := randomPolynomialThrough(secrets, rnd, d)
 	if err != nil {
 		return nil, err
 	}
@@ -114,32 +154,108 @@ func ShareStandard(secret field.Element, d, n int) ([]Share, error) {
 	return SharePacked([]field.Element{secret}, d, n)
 }
 
-// randomPolynomialThrough returns a uniformly random polynomial of degree ≤ d
-// passing through (SlotPoint(j), secrets[j]) for each j.
-func randomPolynomialThrough(secrets []field.Element, d int) (poly.Polynomial, error) {
+// randomPolynomialThrough returns the unique polynomial of degree ≤ d
+// passing through (SlotPoint(j), secrets[j]) for each j and through the
+// injected randomness rnd at the auxiliary points x = 1, 2, ... (which
+// are disjoint from the slot points). Uniform rnd makes the polynomial
+// uniformly random subject to the secret constraints. Reference path
+// only: the construction is the original O(n³) Lagrange-basis sum.
+func randomPolynomialThrough(secrets, rnd []field.Element, d int) (poly.Polynomial, error) {
 	k := len(secrets)
-	// Fix the polynomial by its values at d+1 points: the k slot points carry
-	// the secrets and d+1-k auxiliary points carry fresh randomness. The
-	// auxiliary points x = 1, 2, ... are disjoint from the slot points.
 	xs := SlotPoints(k)
 	ys := field.CloneVec(secrets)
 	extra := d + 1 - k
-	rnd, err := field.RandomVec(extra)
-	if err != nil {
-		return poly.Polynomial{}, err
+	if len(rnd) != extra {
+		return poly.Polynomial{}, fmt.Errorf("sharing: %d randomness values for %d auxiliary points", len(rnd), extra)
 	}
 	for i := 0; i < extra; i++ {
 		xs = append(xs, field.New(uint64(i+1)))
 		ys = append(ys, rnd[i])
 	}
-	return poly.Interpolate(xs, ys)
+	return interpolateLagrangeBasis(xs, ys)
+}
+
+// interpolateLagrangeBasis interpolates by summing scaled Lagrange basis
+// polynomials — the seed algorithm every fast path in this package is
+// differentially pinned against. Interpolation is unique and field
+// arithmetic exact, so it agrees bit-for-bit with the Newton and
+// barycentric routes while sharing no code with them.
+func interpolateLagrangeBasis(xs, ys []field.Element) (poly.Polynomial, error) {
+	if len(xs) != len(ys) {
+		return poly.Polynomial{}, fmt.Errorf("sharing: interpolate: %d points vs %d values", len(xs), len(ys))
+	}
+	basis, err := poly.LagrangeBasis(xs)
+	if err != nil {
+		return poly.Polynomial{}, err
+	}
+	acc := poly.Zero()
+	for i := range ys {
+		acc = acc.Add(basis[i].ScalarMul(ys[i]))
+	}
+	return acc, nil
 }
 
 // ReconstructPacked recovers the k packed secrets from at least d+1 shares of
 // a degree-d sharing. If more than d+1 shares are provided, the extras are
 // used as a consistency check and ErrInconsistentShares is returned when any
 // share deviates from the interpolated polynomial.
+//
+// When the first d+1 shares carry the canonical indices 1..d+1 (the
+// committee fast path), the slot evaluations are cached coefficient rows
+// from the domain engine; arbitrary index sets fall back to a one-off
+// barycentric weight computation — still O(d²) instead of the naive
+// O(d³). Both routes are bit-identical to ReconstructPackedNaive.
 func ReconstructPacked(shares []Share, d, k int) ([]field.Element, error) {
+	if len(shares) < d+1 {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrNotEnoughShares, len(shares), d+1)
+	}
+	xs := make([]field.Element, d+1)
+	ys := make([]field.Element, d+1)
+	canonical := true
+	for i := 0; i < d+1; i++ {
+		if shares[i].Index != i+1 {
+			canonical = false
+		}
+		xs[i] = ShareIndexPoint(shares[i].Index)
+		ys[i] = shares[i].Value
+	}
+	var (
+		weights  []field.Element
+		slotRows [][]field.Element
+	)
+	if canonical {
+		rd := getReconDomain(d, k)
+		weights, slotRows = rd.prefixWeights, rd.slotRows
+	} else {
+		var err error
+		if weights, err = poly.BarycentricWeights(xs); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range shares[d+1:] {
+		row := poly.EvalCoeffsFromWeights(xs, weights, ShareIndexPoint(s.Index))
+		if field.InnerProductLazy(row, ys) != s.Value {
+			return nil, fmt.Errorf("%w: share %d deviates", ErrInconsistentShares, s.Index)
+		}
+	}
+	secrets := make([]field.Element, k)
+	for j := 0; j < k; j++ {
+		if slotRows != nil {
+			secrets[j] = field.InnerProductLazy(slotRows[j], ys)
+		} else {
+			row := poly.EvalCoeffsFromWeights(xs, weights, SlotPoint(j))
+			secrets[j] = field.InnerProductLazy(row, ys)
+		}
+	}
+	return secrets, nil
+}
+
+// ReconstructPackedNaive is the reference implementation of
+// ReconstructPacked: interpolate the sharing polynomial in coefficient
+// form (seed O(d³) Lagrange-basis construction) and evaluate it at the
+// slot points. Kept for differential testing and benchmarking of the
+// cached engine.
+func ReconstructPackedNaive(shares []Share, d, k int) ([]field.Element, error) {
 	if len(shares) < d+1 {
 		return nil, fmt.Errorf("%w: have %d, need %d", ErrNotEnoughShares, len(shares), d+1)
 	}
@@ -149,7 +265,7 @@ func ReconstructPacked(shares []Share, d, k int) ([]field.Element, error) {
 		xs[i] = ShareIndexPoint(shares[i].Index)
 		ys[i] = shares[i].Value
 	}
-	f, err := poly.Interpolate(xs, ys)
+	f, err := interpolateLagrangeBasis(xs, ys)
 	if err != nil {
 		return nil, err
 	}
@@ -178,30 +294,46 @@ func ReconstructStandard(shares []Share, d int) (field.Element, error) {
 // the unique polynomial of degree k-1 through the slots. Every party can
 // compute its own share locally — this is the multiplication-friendliness
 // trick from the paper's Section 3.2 (Step 1 of public-vector multiplication).
+// Shares come from the cached constant-packing domain: one coefficient row
+// per party, computed once per (k, index) process-wide.
 func ConstantPacked(c []field.Element, n int) ([]Share, error) {
 	k := len(c)
 	if k == 0 {
 		return nil, errors.New("sharing: empty public vector")
 	}
-	f, err := poly.Interpolate(SlotPoints(k), c)
+	cd, err := GetConstDomain(k)
 	if err != nil {
 		return nil, err
 	}
 	shares := make([]Share, n)
 	for i := 0; i < n; i++ {
-		shares[i] = Share{Index: i + 1, Value: f.Eval(ShareIndexPoint(i + 1))}
+		if shares[i], err = cd.Share(c, i+1); err != nil {
+			return nil, err
+		}
 	}
 	return shares, nil
 }
 
 // ConstantPackedShare returns only party `index`'s share of the degree-(k-1)
-// packed sharing of the public vector c.
+// packed sharing of the public vector c — a cached-row inner product (the
+// μ-opening hot path evaluates this once per member per batch per layer).
 func ConstantPackedShare(c []field.Element, index int) (Share, error) {
 	k := len(c)
 	if k == 0 {
 		return Share{}, errors.New("sharing: empty public vector")
 	}
-	v, err := poly.EvalAt(SlotPoints(k), c, ShareIndexPoint(index))
+	cd, err := GetConstDomain(k)
+	if err != nil {
+		return Share{}, err
+	}
+	return cd.Share(c, index)
+}
+
+// constantPackedShareNaive is the reference path of ConstantPackedShare
+// (direct Lagrange evaluation), pinned against the domain row by the
+// differential tests.
+func constantPackedShareNaive(c []field.Element, index int) (Share, error) {
+	v, err := poly.EvalAt(SlotPoints(len(c)), c, ShareIndexPoint(index))
 	if err != nil {
 		return Share{}, err
 	}
@@ -248,23 +380,39 @@ func MulShares(a, b []Share) ([]Share, error) {
 // to obtain the packed share f(i) — exactly the l_j(i) vectors used in the
 // homomorphic packing of offline Step 4. The returned matrix has n rows of
 // t+k coefficients.
+//
+// The rows are served from the cached evaluation domain for (k, t+k-1, n)
+// when that shape is valid, so repeated offline batches pay the O(n·(t+k))
+// matrix construction once per process instead of O(n·(t+k)²) per call.
+// Rows are cloned: callers may mutate them freely.
 func PackingLagrangeCoeffs(k, t, n int) ([][]field.Element, error) {
 	if k < 1 || t < 0 {
 		return nil, fmt.Errorf("sharing: packing coeffs: invalid k=%d t=%d", k, t)
 	}
+	d := t + k - 1
+	if validateParams(n, d, k) == nil {
+		dom, err := GetDomain(k, d, n)
+		if err != nil {
+			return nil, err
+		}
+		rows := make([][]field.Element, n)
+		for i := range rows {
+			rows[i] = field.CloneVec(dom.genRows[i])
+		}
+		return rows, nil
+	}
+	// Shapes outside the domain engine's envelope (e.g. t+k > n, where the
+	// packed degree exceeds what n parties could reconstruct) keep working
+	// as before, via a one-off barycentric weight computation.
 	xs := SlotPoints(k)
 	for i := 1; i <= t; i++ {
 		xs = append(xs, field.New(uint64(i)))
 	}
-	rows := make([][]field.Element, n)
-	for i := 1; i <= n; i++ {
-		coeffs, err := poly.LagrangeCoeffs(xs, ShareIndexPoint(i))
-		if err != nil {
-			return nil, err
-		}
-		rows[i-1] = coeffs
+	ws, err := poly.BarycentricWeights(xs)
+	if err != nil {
+		return nil, err
 	}
-	return rows, nil
+	return poly.EvalRowsFromWeights(xs, ws, ShareIndexPoints(n)), nil
 }
 
 // ReconstructAtSlots interpolates the sharing polynomial from the given

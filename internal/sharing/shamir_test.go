@@ -317,28 +317,6 @@ func TestSlotPoints(t *testing.T) {
 	}
 }
 
-func BenchmarkSharePacked(b *testing.B) {
-	secrets := field.MustRandomVec(8)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := SharePacked(secrets, 15, 32); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkReconstructPacked(b *testing.B) {
-	secrets := field.MustRandomVec(8)
-	shares, err := SharePacked(secrets, 15, 32)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := ReconstructPacked(shares[:16], 15, 8); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+// BenchmarkSharePacked / BenchmarkReconstructPacked live in bench_test.go,
+// where the cached domain engine and the seed naive path are measured
+// side by side at n ∈ {64, 256, 1024}.

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math/big"
 	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
 )
 
 // Integer Lagrange machinery for exponent arithmetic. With evaluation
@@ -20,14 +23,62 @@ func factorial(n int) *big.Int {
 	return out
 }
 
+// The Λ vectors depend only on (Δ, xs, at) and the same qualified sets
+// recur across every share-recovery and decryption round, so computed
+// vectors live in a copy-on-write cache with lock-free reads, mirroring
+// the sharing-domain engine. Entries are bounded: adversarially many
+// distinct share subsets (e.g. during robust decoding sweeps) clear the
+// cache wholesale instead of growing it without limit.
+var (
+	lagrangeMu    sync.Mutex
+	lagrangeCache atomic.Pointer[map[string][]*big.Int]
+)
+
+// maxLagrangeCacheEntries bounds the cache; an epoch clear on overflow
+// keeps the steady-state working set (a handful of qualified sets per
+// run) hot while capping worst-case memory.
+const maxLagrangeCacheEntries = 256
+
+// lagrangeKey serializes (Δ, xs, at) into a cache key. Δ is keyed by
+// value, not identity: callers rebuild it per run.
+func lagrangeKey(delta *big.Int, xs []int, at int) string {
+	buf := make([]byte, 0, 16+8*len(xs))
+	buf = append(buf, delta.Text(16)...)
+	buf = append(buf, '@')
+	buf = strconv.AppendInt(buf, int64(at), 10)
+	for _, x := range xs {
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(x), 10)
+	}
+	return string(buf)
+}
+
+// cloneBigs deep-copies a Λ vector so cache entries can never be
+// corrupted through a returned alias.
+func cloneBigs(in []*big.Int) []*big.Int {
+	out := make([]*big.Int, len(in))
+	for i, v := range in {
+		out[i] = new(big.Int).Set(v)
+	}
+	return out
+}
+
 // scaledLagrangeAt returns the integers Λ_i = Δ·λ_i(at) for the point set
 // xs (distinct values in 1..n) evaluated at `at`, where λ_i are the
 // rational Lagrange coefficients: f(at) = Σ λ_i·f(x_i) for deg f < len(xs).
 // The division is exact by construction; this is verified and reported as
 // an error otherwise (which would indicate points outside 1..n).
+// Results are cached per (Δ, xs, at); the returned vector is the caller's
+// to mutate.
 func scaledLagrangeAt(delta *big.Int, xs []int, at int) ([]*big.Int, error) {
 	if err := checkDistinctInts(xs); err != nil {
 		return nil, err
+	}
+	key := lagrangeKey(delta, xs, at)
+	if m := lagrangeCache.Load(); m != nil {
+		if cached, ok := (*m)[key]; ok {
+			return cloneBigs(cached), nil
+		}
 	}
 	out := make([]*big.Int, len(xs))
 	for i, xi := range xs {
@@ -46,6 +97,17 @@ func scaledLagrangeAt(delta *big.Int, xs []int, at int) ([]*big.Int, error) {
 		}
 		out[i] = q
 	}
+	lagrangeMu.Lock()
+	old := lagrangeCache.Load()
+	next := make(map[string][]*big.Int, 1)
+	if old != nil && len(*old) < maxLagrangeCacheEntries {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	next[key] = cloneBigs(out)
+	lagrangeCache.Store(&next)
+	lagrangeMu.Unlock()
 	return out, nil
 }
 

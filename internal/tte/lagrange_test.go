@@ -1,0 +1,90 @@
+package tte
+
+import (
+	"math/big"
+	"sync"
+	"testing"
+)
+
+// scaledLagrangeAtFresh is a cache-free reference computation of the
+// Λ_i vectors, used to pin cached results (the cache keys by value, so a
+// fresh Δ allocation would not bypass it).
+func scaledLagrangeAtFresh(t *testing.T, delta *big.Int, xs []int, at int) []*big.Int {
+	t.Helper()
+	out := make([]*big.Int, len(xs))
+	for i, xi := range xs {
+		num := new(big.Int).Set(delta)
+		den := big.NewInt(1)
+		for j, xj := range xs {
+			if j == i {
+				continue
+			}
+			num.Mul(num, big.NewInt(int64(at-xj)))
+			den.Mul(den, big.NewInt(int64(xi-xj)))
+		}
+		q, r := new(big.Int).QuoRem(num, den, new(big.Int))
+		if r.Sign() != 0 {
+			t.Fatalf("reference: Δ·λ_%d(%d) not integral", xi, at)
+		}
+		out[i] = q
+	}
+	return out
+}
+
+func TestScaledLagrangeCacheHitsMatchAndStayClean(t *testing.T) {
+	delta := factorial(7)
+	xs := []int{1, 3, 4, 6}
+	want := scaledLagrangeAtFresh(t, delta, xs, 0)
+
+	first, err := scaledLagrangeAtZero(delta, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if first[i].Cmp(want[i]) != 0 {
+			t.Fatalf("Λ_%d = %v, want %v", i, first[i], want[i])
+		}
+	}
+	// Mutate the returned vector: the cache must hand out clean copies.
+	first[0].SetInt64(-12345)
+	second, err := scaledLagrangeAtZero(new(big.Int).Set(delta), xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if second[i].Cmp(want[i]) != 0 {
+			t.Fatalf("after caller mutation: Λ_%d = %v, want %v", i, second[i], want[i])
+		}
+	}
+}
+
+func TestScaledLagrangeCacheConcurrent(t *testing.T) {
+	delta := factorial(9)
+	sets := [][]int{{1, 2, 3}, {2, 4, 6}, {1, 5, 7, 9}, {3, 4, 5, 6, 7}}
+	wants := make([][]*big.Int, len(sets))
+	for i, xs := range sets {
+		wants[i] = scaledLagrangeAtFresh(t, delta, xs, 0)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 50; it++ {
+				i := (g + it) % len(sets)
+				got, err := scaledLagrangeAtZero(delta, sets[i])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for j := range got {
+					if got[j].Cmp(wants[i][j]) != 0 {
+						t.Errorf("set %d entry %d diverged", i, j)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
