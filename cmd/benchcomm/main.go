@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "all | table1 | online | improvement | offline | failstop | robust | amortization | totalcost | ablation | sharing | speedup")
+		experiment = flag.String("experiment", "all", "all | table1 | online | improvement | offline | failstop | robust | amortization | totalcost | ablation | sharing | wire | speedup")
 		sharingN   = flag.Int("sharing-nmax", 1024, "E12 largest committee size (powers of 4 from 64 up to this)")
 		sharingR   = flag.Int("sharing-reps", 3, "E12 timed repetitions per figure")
 		widthMult  = flag.Int("widthmult", 16, "E2 workload width multiplier (width = widthmult·n·k)")
@@ -188,6 +188,20 @@ func main() {
 		fmt.Print(bench.FormatSharingHotpath(rows))
 		fmt.Println()
 		return stamp("sharing_hotpath", rows)
+	})
+
+	run("wire", func() error {
+		res, err := bench.WireExperiment(8, 2, 2, 16)
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== E13: mirrored run vs server-measured bytes + codec throughput ===")
+		fmt.Print(bench.FormatWire(res))
+		fmt.Println()
+		if !res.ReportsMatch {
+			return fmt.Errorf("server-measured report diverges from the in-process meter")
+		}
+		return stamp("wire", res)
 	})
 
 	// E11 is wall-clock heavy (two full offline phases at n=64), so it

@@ -81,10 +81,17 @@ func tail(addr string, since int) {
 		fmt.Fprintf(os.Stderr, "boardd: %v\n", err)
 		os.Exit(1)
 	}
-	defer stop()
 	fmt.Printf("boardd: tailing %s from seq %d\n", addr, since)
 	for e := range entries {
-		fmt.Printf("#%-6d %-9s %-22s %8d B  %-14s %s\n",
-			e.Seq, e.Phase, e.Category, e.Size, e.From, e.Summary)
+		fmt.Printf("#%-6d %-9s %-22s %8d B  %s\n",
+			e.Seq, e.Phase, e.Category, e.Size, e.From)
 	}
+	// The stream ended: surface why. stop() reports the terminal decode
+	// error — nil only when the server closed the stream cleanly at a
+	// frame boundary.
+	if err := stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "boardd: tail disconnected: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("boardd: stream closed by server")
 }

@@ -10,8 +10,8 @@ import (
 
 // Bad drops board errors on the floor.
 func Bad(c *transport.Client) {
-	c.Post("r", comm.PhaseOnline, comm.CatInput, 8, "x") // want `error from transport\.Post dropped`
-	c.Close()                                            // want `error from transport\.Close dropped`
+	c.Post("r", comm.PhaseOnline, comm.CatInput, []byte("x")) // want `error from transport\.Post dropped`
+	c.Close()                                                 // want `error from transport\.Close dropped`
 }
 
 // Suppressed demonstrates the per-line escape hatch.
@@ -21,15 +21,15 @@ func Suppressed(c *transport.Client) {
 
 // Good handles or explicitly discards every error.
 func Good(c *transport.Client) error {
-	if _, err := c.Post("r", comm.PhaseOnline, comm.CatInput, 8, "x"); err != nil {
+	if _, err := c.Post("r", comm.PhaseOnline, comm.CatInput, []byte("x")); err != nil {
 		return err
 	}
 	defer c.Close() // deferred teardown stays legal
-	_, _ = c.Post("r", comm.PhaseOnline, comm.CatInput, 8, "y")
+	_, _ = c.Post("r", comm.PhaseOnline, comm.CatInput, []byte("y"))
 	return nil
 }
 
 // Unrelated: Board.Post returns no error, so a bare call is fine.
 func Unrelated(b *transport.Board) {
-	b.Post("r", comm.PhaseOnline, comm.CatInput, 0, nil)
+	b.Post("r", comm.PhaseOnline, comm.CatInput, nil, nil)
 }

@@ -143,7 +143,11 @@ func (p *Protocol) Run(inputs map[int][]field.Element) (*Result, error) {
 		return nil, err
 	}
 	r.tpk = tpk
-	p.board.Post("setup", comm.PhaseSetup, comm.CatCRS, tpk.CiphertextSize()/2, tpk)
+	tpkEnc, err := p.params.TE.EncodePublicKey(tpk)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: encoding tpk announcement: %w", err)
+	}
+	p.board.Post("setup", comm.PhaseSetup, comm.CatCRS, tpkEnc, tpk)
 	for _, id := range p.circ.Clients() {
 		role, err := p.assign.NewKnownParty("client", id, comm.PhaseSetup)
 		if err != nil {
@@ -169,10 +173,11 @@ func (p *Protocol) Run(inputs map[int][]field.Element) (*Result, error) {
 }
 
 // speakCommittee runs one committee step with per-role honest payloads of
-// ciphertext bundles or partial-decryption bundles; it returns the payloads
-// of roles whose proofs verify.
+// ciphertext bundles or partial-decryption bundles; honest closures return
+// the payload together with its wire encoding (the bytes the board meters),
+// and it returns the payloads of roles whose proofs verify.
 func (r *run) speakCommittee(c *yoso.Committee, phase comm.Phase, cat comm.Category, label string,
-	honest func(i int) (any, int, error), garbSize int) (map[int]any, error) {
+	honest func(i int) (any, []byte, error), garbSize int) (map[int]any, error) {
 	verified := map[int]any{}
 	for i := 1; i <= c.N(); i++ {
 		role := c.Role(i)
@@ -180,22 +185,22 @@ func (r *run) speakCommittee(c *yoso.Committee, phase comm.Phase, cat comm.Categ
 		case yoso.FailStop:
 			r.excluded = append(r.excluded, fmt.Sprintf("%s@%s (fail-stop)", role.Name(), label))
 		case yoso.Malicious:
-			role.Post(phase, cat, garbSize, "garbage")
+			role.Post(phase, cat, make([]byte, garbSize), "garbage")
 			proof := r.p.auth.Forge()
-			role.Post(phase, comm.CatProof, proof.Size(), proof)
+			role.Post(phase, comm.CatProof, proof.Bytes(), proof)
 			if r.p.auth.Verify(r.statement(label, role.Name()), proof) {
 				verified[i] = nil // statistically impossible
 			} else {
 				r.excluded = append(r.excluded, fmt.Sprintf("%s@%s (malicious)", role.Name(), label))
 			}
 		default:
-			payload, size, err := honest(i)
+			payload, wire, err := honest(i)
 			if err != nil {
 				return nil, fmt.Errorf("baseline: %s at %s: %w", role.Name(), label, err)
 			}
-			role.Post(phase, cat, size, payload)
+			role.Post(phase, cat, wire, payload)
 			proof := r.p.auth.Attest(r.statement(label, role.Name()))
-			role.Post(phase, comm.CatProof, proof.Size(), proof)
+			role.Post(phase, comm.CatProof, proof.Bytes(), proof)
 			verified[i] = payload
 		}
 	}
@@ -232,18 +237,22 @@ func (r *run) offlineBeaver() error {
 	ctSize := r.tpk.CiphertextSize()
 
 	aPosts, err := r.speakCommittee(b1, comm.PhaseOffline, comm.CatBeaver, "beaver-a",
-		func(i int) (any, int, error) {
+		func(i int) (any, []byte, error) {
 			cts := make([]tte.Ciphertext, len(muls))
-			size := 0
+			var wire []byte
 			for g := range muls {
 				ct, err := te.Encrypt(r.tpk, fieldCoeff(field.MustRandom()), boundP)
 				if err != nil {
-					return nil, 0, err
+					return nil, nil, err
 				}
 				cts[g] = ct
-				size += ct.Size()
+				enc, err := te.EncodeCiphertext(ct)
+				if err != nil {
+					return nil, nil, err
+				}
+				wire = append(wire, enc...)
 			}
-			return cts, size, nil
+			return cts, wire, nil
 		}, len(muls)*ctSize)
 	if err != nil {
 		return err
@@ -255,23 +264,29 @@ func (r *run) offlineBeaver() error {
 
 	type bc struct{ b, c []tte.Ciphertext }
 	bcPosts, err := r.speakCommittee(b2, comm.PhaseOffline, comm.CatBeaver, "beaver-bc",
-		func(i int) (any, int, error) {
+		func(i int) (any, []byte, error) {
 			out := bc{b: make([]tte.Ciphertext, len(muls)), c: make([]tte.Ciphertext, len(muls))}
-			size := 0
+			var wire []byte
 			for g := range muls {
 				bv := field.MustRandom()
 				bct, err := te.Encrypt(r.tpk, fieldCoeff(bv), boundP)
 				if err != nil {
-					return nil, 0, err
+					return nil, nil, err
 				}
 				cct, err := te.Eval(r.tpk, []tte.Ciphertext{cA[g]}, []*big.Int{fieldCoeff(bv)})
 				if err != nil {
-					return nil, 0, err
+					return nil, nil, err
 				}
 				out.b[g], out.c[g] = bct, cct
-				size += bct.Size() + cct.Size()
+				for _, ct := range []tte.Ciphertext{bct, cct} {
+					enc, err := te.EncodeCiphertext(ct)
+					if err != nil {
+						return nil, nil, err
+					}
+					wire = append(wire, enc...)
+				}
 			}
-			return out, size, nil
+			return out, wire, nil
 		}, 2*len(muls)*ctSize)
 	if err != nil {
 		return err
@@ -345,7 +360,7 @@ func (r *run) online(inputs map[int][]field.Element, dealerShares []tte.KeyShare
 	for _, client := range r.p.circ.Clients() {
 		role := r.clients[client]
 		inGates := r.p.circ.InputGates(client)
-		size := 0
+		var wire []byte
 		cts := make([]tte.Ciphertext, len(inGates))
 		for j := range inGates {
 			ct, err := te.Encrypt(r.tpk, fieldCoeff(inputs[client][j]), boundP)
@@ -353,12 +368,16 @@ func (r *run) online(inputs map[int][]field.Element, dealerShares []tte.KeyShare
 				return nil, err
 			}
 			cts[j] = ct
-			size += ct.Size()
+			enc, err := te.EncodeCiphertext(ct)
+			if err != nil {
+				return nil, err
+			}
+			wire = append(wire, enc...)
 		}
-		if size > 0 {
-			role.Post(comm.PhaseOnline, comm.CatInput, size, cts)
+		if len(wire) > 0 {
+			role.Post(comm.PhaseOnline, comm.CatInput, wire, cts)
 			proof := r.p.auth.Attest(r.statement("input", role.Name()))
-			role.Post(comm.PhaseOnline, comm.CatProof, proof.Size(), proof)
+			role.Post(comm.PhaseOnline, comm.CatProof, proof.Bytes(), proof)
 		}
 		for j, gi := range inGates {
 			r.wireCt[gates[gi].Out] = cts[j]
@@ -381,11 +400,24 @@ func (r *run) online(inputs map[int][]field.Element, dealerShares []tte.KeyShare
 	}
 	committees = append(committees, outC)
 
-	// Dealer delivery of epoch-0 shares to the first committee.
+	// Dealer delivery of epoch-0 shares to the first committee: each share
+	// travels as a real PKE envelope sealed under the receiving role's key
+	// (the driver additionally hands the shares over in-process).
 	shares := dealerShares
 	for i, sh := range shares {
-		r.p.board.Post("setup-dealer", comm.PhaseSetup, comm.CatReshare, sh.Size()+48,
-			fmt.Sprintf("tsk-share for %s/%d", committees[0].Name, i+1))
+		data, err := te.EncodeKeyShare(sh)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: encoding dealer tsk share %d: %w", i+1, err)
+		}
+		env, err := committees[0].Role(i + 1).PublicKey().Encrypt(data)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: sealing dealer tsk share %d: %w", i+1, err)
+		}
+		enc, err := p.PKE.EncodeCiphertext(env)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: encoding dealer envelope %d: %w", i+1, err)
+		}
+		r.p.board.Post("setup-dealer", comm.PhaseSetup, comm.CatReshare, enc, env)
 	}
 
 	// Group mul gates by layer.
@@ -426,29 +458,47 @@ func (r *run) online(inputs map[int][]field.Element, dealerShares []tte.KeyShare
 		}
 		handoffNext := map[int][]tte.SubShare{}
 		posts, err := r.speakCommittee(c, comm.PhaseOnline, comm.CatPartial, fmt.Sprintf("layer%d", l),
-			func(i int) (any, int, error) {
+			func(i int) (any, []byte, error) {
 				sh := shares[i-1]
 				if sh == nil {
-					return nil, 0, fmt.Errorf("role %d has no tsk share", i)
+					return nil, nil, fmt.Errorf("role %d has no tsk share", i)
 				}
 				parts := make([]tte.PartialDec, len(open))
-				size := 0
+				var wire []byte
 				for j, ct := range open {
 					part, err := te.PartialDecrypt(r.tpk, sh, ct)
 					if err != nil {
-						return nil, 0, err
+						return nil, nil, err
 					}
 					parts[j] = part
-					size += part.Size()
+					penc, err := te.EncodePartial(part)
+					if err != nil {
+						return nil, nil, err
+					}
+					wire = append(wire, penc...)
 				}
 				subs, err := te.Reshare(r.tpk, sh)
 				if err != nil {
-					return nil, 0, err
+					return nil, nil, err
 				}
+				// Each subshare travels sealed under the receiving role's
+				// key in the next committee.
 				for _, sub := range subs {
-					size += sub.Size() + 60
+					data, err := te.EncodeSubShare(sub)
+					if err != nil {
+						return nil, nil, err
+					}
+					env, err := next.Role(sub.To()).PublicKey().Encrypt(data)
+					if err != nil {
+						return nil, nil, err
+					}
+					enc, err := p.PKE.EncodeCiphertext(env)
+					if err != nil {
+						return nil, nil, err
+					}
+					wire = append(wire, enc...)
 				}
-				return partialBundle{parts: parts, subs: subs}, size, nil
+				return partialBundle{parts: parts, subs: subs}, wire, nil
 			}, 2*len(layerGates)*r.tpk.CiphertextSize()+p.N*(r.tpk.CiphertextSize()+60))
 		if err != nil {
 			return nil, err
@@ -485,7 +535,6 @@ func (r *run) online(inputs map[int][]field.Element, dealerShares []tte.KeyShare
 			}
 		}
 		handoff = handoffNext
-		_ = next // the hand-off targets committees[l], consumed next iteration
 	}
 	if err := r.propagateLinear(); err != nil {
 		return nil, err
@@ -625,30 +674,34 @@ func (r *run) outputs(outC *yoso.Committee, shares []tte.KeyShare) (map[int][]fi
 		}
 	}
 	posts, err := r.speakCommittee(outC, comm.PhaseOnline, comm.CatOutput, "output",
-		func(i int) (any, int, error) {
+		func(i int) (any, []byte, error) {
 			sh := shares[i-1]
 			if sh == nil {
-				return nil, 0, fmt.Errorf("role %d has no tsk share", i)
+				return nil, nil, fmt.Errorf("role %d has no tsk share", i)
 			}
 			envs := make(map[int]pke.Ciphertext, len(outs))
-			size := 0
+			var wire []byte
 			for _, og := range outs {
 				part, err := te.PartialDecrypt(r.tpk, sh, r.wireCt[og.wire])
 				if err != nil {
-					return nil, 0, err
+					return nil, nil, err
 				}
 				data, err := te.EncodePartial(part)
 				if err != nil {
-					return nil, 0, err
+					return nil, nil, err
 				}
 				env, err := r.clients[og.client].PublicKey().Encrypt(data)
 				if err != nil {
-					return nil, 0, err
+					return nil, nil, err
 				}
 				envs[og.gi] = env
-				size += env.Size()
+				enc, err := p.PKE.EncodeCiphertext(env)
+				if err != nil {
+					return nil, nil, err
+				}
+				wire = append(wire, enc...)
 			}
-			return envs, size, nil
+			return envs, wire, nil
 		}, len(outs)*(r.tpk.CiphertextSize()+60))
 	if err != nil {
 		return nil, err

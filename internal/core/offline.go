@@ -31,6 +31,10 @@ type garbage struct{ size int }
 
 func (g garbage) wireSize() int { return g.size }
 
+// encodeWire emits size zero bytes: garbage content is never consumed, but
+// it must occupy exactly the modelled space on the board.
+func (g garbage) encodeWire(*Params) ([]byte, error) { return make([]byte, g.size), nil }
+
 // ctBundle is a broadcast bundle of threshold ciphertexts.
 type ctBundle struct{ cts []tte.Ciphertext }
 
@@ -40,6 +44,18 @@ func (b ctBundle) wireSize() int {
 		s += ct.Size()
 	}
 	return s
+}
+
+func (b ctBundle) encodeWire(p *Params) ([]byte, error) {
+	out := make([]byte, 0, b.wireSize())
+	for _, ct := range b.cts {
+		enc, err := p.TE.EncodeCiphertext(ct)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, enc...)
+	}
+	return out, nil
 }
 
 // offline executes the whole of Π_YOSO-Offline: Steps 1–4, the OffDec
@@ -71,10 +87,25 @@ func (r *run) offline() error {
 	}
 
 	// Trusted-dealer delivery of epoch-0 tsk shares to OffDec (the paper's
-	// "give tsk_i to C^Off_{1,i}"), metered as setup bytes.
+	// "give tsk_i to C^Off_{1,i}"): each share travels as a real PKE
+	// envelope sealed under the receiving role's key, metered as setup
+	// bytes. The driver additionally hands the shares over in-process.
+	te := p.TE
 	for i, sh := range r.offDecShares {
-		r.p.board.Post("setup-dealer", comm.PhaseSetup, comm.CatReshare, sh.Size()+48,
-			fmt.Sprintf("tsk-share for offDec/%d", i+1))
+		data, err := te.EncodeKeyShare(sh)
+		if err != nil {
+			return fmt.Errorf("encoding dealer tsk share %d: %w", i+1, err)
+		}
+		ct, err := r.offDec.Role(i + 1).PublicKey().Encrypt(data)
+		if err != nil {
+			return fmt.Errorf("sealing dealer tsk share %d: %w", i+1, err)
+		}
+		enc, err := p.PKE.EncodeCiphertext(ct)
+		if err != nil {
+			return fmt.Errorf("encoding dealer envelope %d: %w", i+1, err)
+		}
+		env := envelope{From: "setup-dealer", To: fmt.Sprintf("offDec/%d", i+1), Ct: ct}
+		r.p.board.Post("setup-dealer", comm.PhaseSetup, comm.CatReshare, enc, env)
 	}
 	r.logStep("offline committees formed", "committees", 6, "size", p.N)
 
@@ -233,6 +264,18 @@ func (r *run) offlineBeaver() error {
 type bundle2 struct{ a, b ctBundle }
 
 func (b bundle2) wireSize() int { return b.a.wireSize() + b.b.wireSize() }
+
+func (b bundle2) encodeWire(p *Params) ([]byte, error) {
+	ea, err := b.a.encodeWire(p)
+	if err != nil {
+		return nil, err
+	}
+	eb, err := b.b.encodeWire(p)
+	if err != nil {
+		return nil, err
+	}
+	return append(ea, eb...), nil
+}
 
 // sumContributions adds each position's valid contributions: the standard
 // "everyone computes TEval(tpk, {c_i}_{i∈S}, (1)^|S|)" pattern. Positions
@@ -435,18 +478,30 @@ func (r *run) offlineDependentWires() error {
 // the next committee.
 type decPayload struct {
 	partials []tte.PartialDec
-	reshare  []envelope
+	// partEnc caches each partial's wire encoding, produced alongside the
+	// partial itself so wireSize and encodeWire agree byte-for-byte (the
+	// real-backend encoding length is value-dependent).
+	partEnc [][]byte
+	reshare []envelope
 }
 
 func (d decPayload) wireSize() int {
 	s := 0
-	for _, p := range d.partials {
-		s += p.Size()
+	for _, e := range d.partEnc {
+		s += len(e)
 	}
 	for _, e := range d.reshare {
 		s += e.Ct.Size()
 	}
 	return s
+}
+
+func (d decPayload) encodeWire(p *Params) ([]byte, error) {
+	out := make([]byte, 0, d.wireSize())
+	for _, e := range d.partEnc {
+		out = append(out, e...)
+	}
+	return appendEnvelopes(p, out, d.reshare)
 }
 
 // offDecSpeak runs the OffDec committee: publish partial decryptions of
@@ -485,7 +540,12 @@ func (r *run) tskCommitteeSpeak(c *yoso.Committee, shares []tte.KeyShare, phase 
 				if err != nil {
 					return nil, err
 				}
+				penc, err := te.EncodePartial(part)
+				if err != nil {
+					return nil, err
+				}
 				payload.partials = append(payload.partials, part)
+				payload.partEnc = append(payload.partEnc, penc)
 			}
 			if next != nil {
 				subs, err := te.Reshare(r.tpk, sh)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"yosompc/internal/circuit"
 	"yosompc/internal/comm"
@@ -11,6 +12,17 @@ import (
 	"yosompc/internal/tte"
 	"yosompc/internal/yoso"
 )
+
+// sortedKeys returns an int-keyed map's keys in ascending order: map-shaped
+// payloads must encode deterministically.
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
 
 // online executes the offline/online boundary (OffRe's speak: Steps 5–6 +
 // tsk hand-off) and Π_YOSO-Online: future key distribution, inputs, layer
@@ -87,6 +99,10 @@ func (b envBundle) wireSize() int {
 	return s
 }
 
+func (b envBundle) encodeWire(p *Params) ([]byte, error) {
+	return appendEnvelopes(p, make([]byte, 0, b.wireSize()), b.envs)
+}
+
 // reencPayload is the OffRe committee's single broadcast: Re-encrypt
 // envelopes for input-wire λ's (Step 5), packed shares (Step 6), and the
 // tsk resharing for OnC1.
@@ -122,6 +138,24 @@ func (p reencPayload) wireSize() int {
 		s += e.Ct.Size()
 	}
 	return s
+}
+
+func (p reencPayload) encodeWire(pp *Params) ([]byte, error) {
+	out := make([]byte, 0, p.wireSize())
+	var err error
+	for _, gi := range sortedKeys(p.inputs) {
+		if out, err = appendEnvelopes(pp, out, []envelope{p.inputs[gi]}); err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range []map[int][]envelope{p.left, p.right, p.gamma} {
+		for _, bi := range sortedKeys(m) {
+			if out, err = appendEnvelopes(pp, out, m[bi]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return appendEnvelopes(pp, out, p.reshare)
 }
 
 // offReSpeak runs the OffRe committee (offline Steps 5 and 6): each
@@ -328,6 +362,32 @@ func (d kffDelivery) wireSize() int {
 		s += e.Ct.Size()
 	}
 	return s
+}
+
+func (d kffDelivery) encodeWire(p *Params) ([]byte, error) {
+	lkeys := make([][2]int, 0, len(d.layer))
+	for k := range d.layer {
+		lkeys = append(lkeys, k)
+	}
+	sort.Slice(lkeys, func(i, j int) bool {
+		if lkeys[i][0] != lkeys[j][0] {
+			return lkeys[i][0] < lkeys[j][0]
+		}
+		return lkeys[i][1] < lkeys[j][1]
+	})
+	out := make([]byte, 0, d.wireSize())
+	var err error
+	for _, k := range lkeys {
+		if out, err = appendEnvelopes(p, out, []envelope{d.layer[k]}); err != nil {
+			return nil, err
+		}
+	}
+	for _, id := range sortedKeys(d.client) {
+		if out, err = appendEnvelopes(p, out, []envelope{d.client[id]}); err != nil {
+			return nil, err
+		}
+	}
+	return appendEnvelopes(p, out, d.reshare)
 }
 
 // onC1Speak is the online "future key distribution": OnC1 re-encrypts each
@@ -595,6 +655,10 @@ type muBundle struct{ vals []field.Element }
 
 func (m muBundle) wireSize() int { return len(m.vals) * field.ElementSize }
 
+func (m muBundle) encodeWire(*Params) ([]byte, error) {
+	return field.AppendVecBytes(make([]byte, 0, m.wireSize()), m.vals), nil
+}
+
 // onlineInput has every client open λ^α for each of its input wires (via
 // its KFF) and publish μ^α = v^α − λ^α.
 func (r *run) onlineInput(inputs map[int][]field.Element) error {
@@ -860,14 +924,22 @@ func (r *run) layerStepRobust(c *yoso.Committee, l int,
 				lies[j] = field.MustRandom()
 			}
 			payload := muBundle{vals: lies}
-			role.Post(comm.PhaseOnline, comm.CatMu, payload.wireSize(), payload)
+			enc, err := encodePost(&r.p.params, payload)
+			if err != nil {
+				return nil // treated as a crash; decoding tolerates it
+			}
+			role.Post(comm.PhaseOnline, comm.CatMu, enc, payload)
 			results[idx-1] = outcome{payload: payload, ok: true}
 		default:
 			payload, err := honest(idx)
 			if err != nil {
 				return nil // treated as a crash; decoding tolerates it
 			}
-			role.Post(comm.PhaseOnline, comm.CatMu, payload.wireSize(), payload)
+			enc, err := encodePost(&r.p.params, payload)
+			if err != nil {
+				return nil
+			}
+			role.Post(comm.PhaseOnline, comm.CatMu, enc, payload)
 			results[idx-1] = outcome{payload: payload, ok: true}
 		}
 		return nil
@@ -900,6 +972,17 @@ func (o outputPayload) wireSize() int {
 		s += e.Ct.Size()
 	}
 	return s
+}
+
+func (o outputPayload) encodeWire(p *Params) ([]byte, error) {
+	out := make([]byte, 0, o.wireSize())
+	var err error
+	for _, gi := range sortedKeys(o.envs) {
+		if out, err = appendEnvelopes(p, out, []envelope{o.envs[gi]}); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // onlineOutput re-encrypts each output wire's λ to its client, who opens

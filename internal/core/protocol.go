@@ -207,8 +207,45 @@ type rolePost struct {
 	proof   nizk.Proof
 }
 
-// sized is implemented by step payloads so the board can meter them.
-type sized interface{ wireSize() int }
+// sized is implemented by step payloads: wireSize is the modelled encoded
+// length (the costmodel anchor) and encodeWire produces the actual bytes
+// that go on the board. speak cross-checks the two per message, so the
+// self-reported accounting can never drift from what really travels.
+type sized interface {
+	wireSize() int
+	encodeWire(p *Params) ([]byte, error)
+}
+
+// encodePost produces a payload's wire bytes and verifies them against the
+// modelled wireSize. A mismatch is a codec/costmodel bug, surfaced as an
+// error rather than silently mis-metered. It deliberately takes only the
+// codec-bearing Params, never run state: everything a payload encodes is
+// already public (ciphertexts, proofs, masked openings).
+func encodePost(p *Params, payload sized) ([]byte, error) {
+	enc, err := payload.encodeWire(p)
+	if err != nil {
+		return nil, fmt.Errorf("encoding %T: %w", payload, err)
+	}
+	if len(enc) != payload.wireSize() {
+		return nil, fmt.Errorf("core: %T encodes to %d bytes but models wireSize %d",
+			payload, len(enc), payload.wireSize())
+	}
+	return enc, nil
+}
+
+// appendEnvelopes appends each envelope's sealed-ciphertext encoding to dst.
+// The From/To routing is driver bookkeeping kept in memory; only the PKE
+// ciphertext travels on the board.
+func appendEnvelopes(p *Params, dst []byte, envs []envelope) ([]byte, error) {
+	for _, e := range envs {
+		enc, err := p.PKE.EncodeCiphertext(e.Ct)
+		if err != nil {
+			return nil, err
+		}
+		dst = append(dst, enc...)
+	}
+	return dst, nil
+}
 
 // speak executes one role's speaking step. Honest roles compute their
 // payload with `honest` and attach an attested proof; malicious roles post
@@ -222,18 +259,26 @@ func (r *run) speak(role *yoso.Role, phase comm.Phase, cat comm.Category, label 
 		return nil, nil
 	case yoso.Malicious:
 		payload := malicious()
+		enc, err := encodePost(&r.p.params, payload)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s at %s: %w", role.Name(), label, err)
+		}
 		proof := r.p.auth.Forge()
-		role.Post(phase, cat, payload.wireSize(), payload)
-		role.Post(phase, comm.CatProof, proof.Size(), proof)
+		role.Post(phase, cat, enc, payload)
+		role.Post(phase, comm.CatProof, proof.Bytes(), proof)
 		return &rolePost{payload: payload, proof: proof}, nil
 	default:
 		payload, err := honest()
 		if err != nil {
 			return nil, fmt.Errorf("core: %s at %s: %w", role.Name(), label, err)
 		}
+		enc, err := encodePost(&r.p.params, payload)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s at %s: %w", role.Name(), label, err)
+		}
 		proof := r.p.auth.Attest(r.statement(label, role.Name()))
-		role.Post(phase, cat, payload.wireSize(), payload)
-		role.Post(phase, comm.CatProof, proof.Size(), proof)
+		role.Post(phase, cat, enc, payload)
+		role.Post(phase, comm.CatProof, proof.Bytes(), proof)
 		return &rolePost{payload: payload, proof: proof}, nil
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"math/big"
 
@@ -31,11 +32,17 @@ func (r *run) setup() error {
 	}
 	r.tpk = tpk
 	r.offDecShares = shares
-	// Publishing tpk: modelled as one ciphertext-sized posting.
-	r.p.board.Post("setup", comm.PhaseSetup, comm.CatCRS, tpk.CiphertextSize()/2, tpk)
+	// Publishing tpk: the public key's real board announcement bytes.
+	tpkEnc, err := te.EncodePublicKey(tpk)
+	if err != nil {
+		return fmt.Errorf("encoding tpk announcement: %w", err)
+	}
+	r.p.board.Post("setup", comm.PhaseSetup, comm.CatCRS, tpkEnc, tpk)
 
-	// NIZK CRS: the authority key takes the place of the Groth–Maller crs.
-	r.p.board.Post("setup", comm.PhaseSetup, comm.CatCRS, 32, "nizkaok-crs")
+	// NIZK CRS: the authority key takes the place of the Groth–Maller crs;
+	// a 32-byte digest of the label stands in for the crs bytes.
+	crs := sha256.Sum256([]byte("nizkaok-crs"))
+	r.p.board.Post("setup", comm.PhaseSetup, comm.CatCRS, crs[:], "nizkaok-crs")
 
 	// Known parties (clients). They are long-lived machines: their single
 	// *input-role* broadcast is still enforced, but their keys survive to
@@ -94,6 +101,10 @@ func (r *run) newKFF(owner string) (*kffEntry, error) {
 	if err != nil {
 		return nil, fmt.Errorf("TEnc of KFF secret for %s: %w", owner, err)
 	}
-	r.p.board.Post("setup", comm.PhaseSetup, comm.CatKFF, len(pub.Bytes())+ct.Size(), pub)
+	ctEnc, err := p.TE.EncodeCiphertext(ct)
+	if err != nil {
+		return nil, fmt.Errorf("encoding KFF ciphertext for %s: %w", owner, err)
+	}
+	r.p.board.Post("setup", comm.PhaseSetup, comm.CatKFF, append(pub.Bytes(), ctEnc...), pub)
 	return &kffEntry{pub: pub, secretCt: ct}, nil
 }

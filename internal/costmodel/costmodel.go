@@ -141,7 +141,7 @@ func CoreWith(n, t, k int, shape Shape, z Sizes, opts CoreOptions) Phases {
 	if !opts.NoKFF {
 		setup += kffCount * int64(z.RoleKey+z.Ciphertext) // KFF publications
 	}
-	setup += N * int64(z.KeyShare+48) // dealer tsk delivery
+	setup += N * int64(z.PKEOverhead+z.KeyShare) // dealer tsk delivery (sealed envelopes)
 
 	var offline int64
 	offline += 6 * N * int64(z.RoleKey) // six offline committees' role keys (incl. bridge)
@@ -194,6 +194,7 @@ func CoreWith(n, t, k int, shape Shape, z Sizes, opts CoreOptions) Phases {
 // counts for an all-honest run.
 func Baseline(n, t int, shape Shape, z Sizes) Phases {
 	envP := int64(z.PKEOverhead + z.Partial)
+	envS := int64(z.PKEOverhead + z.SubShare)
 	N := int64(n)
 	muls := int64(shape.Muls)
 	depth := int64(shape.Depth)
@@ -201,7 +202,7 @@ func Baseline(n, t int, shape Shape, z Sizes) Phases {
 	var setup int64
 	setup += int64(z.Ciphertext) / 2                 // tpk
 	setup += int64(shape.Clients) * int64(z.RoleKey) // client keys
-	setup += N * int64(z.KeyShare+48)                // dealer tsk delivery
+	setup += N * int64(z.PKEOverhead+z.KeyShare)     // dealer tsk delivery (sealed envelopes)
 
 	var offline int64
 	if muls > 0 {
@@ -218,7 +219,7 @@ func Baseline(n, t int, shape Shape, z Sizes) Phases {
 	// Each layer: 2 partials per gate per role + resharing + proof.
 	mulsPerLayer := perLayerMuls(shape)
 	for _, lm := range mulsPerLayer {
-		online += N*(2*int64(lm)*int64(z.Partial)+N*int64(z.SubShare+60)) + N*int64(z.Proof)
+		online += N*(2*int64(lm)*int64(z.Partial)+N*envS) + N*int64(z.Proof)
 	}
 	// Output committee: one envelope per output per role + proof.
 	online += N*int64(shape.Outputs)*envP + N*int64(z.Proof)

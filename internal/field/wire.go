@@ -1,0 +1,89 @@
+package field
+
+import (
+	"encoding"
+	"fmt"
+	"io"
+
+	"yosompc/internal/wire"
+)
+
+// Vec is a batch of field elements with a self-describing binary codec —
+// the unit of client-input and μ-opening traffic when it crosses a wire.
+// Layout (big-endian):
+//
+//	u32 count | count × 8-byte canonical elements
+//
+// Inside protocol payloads whose batch width is fixed by the circuit layer,
+// elements travel bare via AppendVecBytes/VecFromBytes instead.
+type Vec []Element
+
+// EncodedSize returns the exact encoded length in bytes.
+func (v Vec) EncodedSize() int { return 4 + len(v)*ElementSize }
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (v Vec) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, v.EncodedSize())
+	out = wire.AppendUint32(out, uint32(len(v)))
+	return AppendVecBytes(out, v), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. The encoding must
+// consume the whole buffer.
+func (v *Vec) UnmarshalBinary(data []byte) error {
+	n, rest, err := wire.Uint32(data)
+	if err != nil {
+		return err
+	}
+	if uint64(n)*ElementSize > wire.MaxLen {
+		return fmt.Errorf("%w: vector count %d exceeds limit", wire.ErrMalformed, n)
+	}
+	if len(rest) != int(n)*ElementSize {
+		return fmt.Errorf("%w: vector of %d elements needs %d bytes, have %d",
+			wire.ErrMalformed, n, int(n)*ElementSize, len(rest))
+	}
+	out, err := VecFromBytes(rest, int(n))
+	if err != nil {
+		return err
+	}
+	*v = out
+	return nil
+}
+
+// WriteTo implements io.WriterTo.
+func (v Vec) WriteTo(w io.Writer) (int64, error) {
+	return wire.WriteBinary(w, v)
+}
+
+// ReadFrom implements io.ReaderFrom.
+func (v *Vec) ReadFrom(r io.Reader) (int64, error) {
+	count, n, err := wire.ReadUint32(r)
+	if err != nil {
+		return int64(n), err
+	}
+	if uint64(count)*ElementSize > wire.MaxLen {
+		return int64(n), fmt.Errorf("%w: vector count %d exceeds limit", wire.ErrMalformed, count)
+	}
+	buf := make([]byte, int(count)*ElementSize)
+	m, err := io.ReadFull(r, buf)
+	n += m
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return int64(n), err
+	}
+	out, err := VecFromBytes(buf, int(count))
+	if err != nil {
+		return int64(n), err
+	}
+	*v = out
+	return int64(n), nil
+}
+
+var (
+	_ encoding.BinaryMarshaler   = Vec(nil)
+	_ encoding.BinaryUnmarshaler = (*Vec)(nil)
+	_ io.WriterTo                = Vec(nil)
+	_ io.ReaderFrom              = (*Vec)(nil)
+)

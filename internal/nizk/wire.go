@@ -1,0 +1,41 @@
+package nizk
+
+import (
+	"encoding"
+	"io"
+)
+
+// Proof wire format: the raw 192-byte constant-size blob, no framing — the
+// enclosing message versions it. See docs/WIRE.md.
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (p Proof) MarshalBinary() ([]byte, error) { return p.Bytes(), nil }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (p *Proof) UnmarshalBinary(data []byte) error {
+	dec, err := ProofFromBytes(data)
+	if err != nil {
+		return err
+	}
+	*p = dec
+	return nil
+}
+
+// WriteTo implements io.WriterTo.
+func (p Proof) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(p.data[:])
+	return int64(n), err
+}
+
+// ReadFrom implements io.ReaderFrom: exactly AttestedProofSize bytes.
+func (p *Proof) ReadFrom(r io.Reader) (int64, error) {
+	n, err := io.ReadFull(r, p.data[:])
+	return int64(n), err
+}
+
+var (
+	_ encoding.BinaryMarshaler   = Proof{}
+	_ encoding.BinaryUnmarshaler = (*Proof)(nil)
+	_ io.WriterTo                = Proof{}
+	_ io.ReaderFrom              = (*Proof)(nil)
+)

@@ -65,6 +65,11 @@ type Scheme interface {
 	// SecretKeyFromBytes reconstructs a secret key from its encoding —
 	// the receiving role's step after a KFF hand-off.
 	SecretKeyFromBytes(data []byte) (SecretKey, error)
+	// EncodeCiphertext serializes an envelope; the encoding is exactly
+	// Ciphertext.Size() bytes (docs/WIRE.md).
+	EncodeCiphertext(ct Ciphertext) ([]byte, error)
+	// DecodeCiphertext parses an envelope serialized by EncodeCiphertext.
+	DecodeCiphertext(data []byte) (Ciphertext, error)
 }
 
 // ECIES is the real backend.

@@ -1,0 +1,125 @@
+package sharing
+
+import (
+	"encoding"
+	"fmt"
+	"io"
+
+	"yosompc/internal/field"
+	"yosompc/internal/wire"
+)
+
+// Binary codec for shares and packed share vectors. Layout (big-endian):
+//
+//	Share:    u32 index | 8-byte element           (12 bytes)
+//	ShareVec: u32 count | count × Share            (4 + 12·count bytes)
+//
+// See docs/WIRE.md.
+
+// ShareEncodedSize is the fixed encoded size of one Share.
+const ShareEncodedSize = 4 + field.ElementSize
+
+// AppendShare appends the 12-byte encoding of sh.
+func AppendShare(dst []byte, sh Share) []byte {
+	dst = wire.AppendUint32(dst, uint32(sh.Index))
+	return sh.Value.AppendBytes(dst)
+}
+
+// ShareFromBytes decodes one Share, returning the remainder.
+func ShareFromBytes(data []byte) (Share, []byte, error) {
+	idx, rest, err := wire.Uint32(data)
+	if err != nil {
+		return Share{}, nil, err
+	}
+	if len(rest) < field.ElementSize {
+		return Share{}, nil, fmt.Errorf("%w: truncated share value", wire.ErrMalformed)
+	}
+	v, err := field.FromBytes(rest[:field.ElementSize])
+	if err != nil {
+		return Share{}, nil, err
+	}
+	return Share{Index: int(idx), Value: v}, rest[field.ElementSize:], nil
+}
+
+// ShareVec is a packed share vector — one row of a committee's sharing —
+// with the standard binary-codec interfaces.
+type ShareVec []Share
+
+// EncodedSize returns the exact encoded length in bytes.
+func (v ShareVec) EncodedSize() int { return 4 + len(v)*ShareEncodedSize }
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (v ShareVec) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, v.EncodedSize())
+	out = wire.AppendUint32(out, uint32(len(v)))
+	for _, sh := range v {
+		out = AppendShare(out, sh)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. The encoding must
+// consume the whole buffer.
+func (v *ShareVec) UnmarshalBinary(data []byte) error {
+	count, rest, err := wire.Uint32(data)
+	if err != nil {
+		return err
+	}
+	if uint64(count)*ShareEncodedSize > wire.MaxLen {
+		return fmt.Errorf("%w: share count %d exceeds limit", wire.ErrMalformed, count)
+	}
+	if len(rest) != int(count)*ShareEncodedSize {
+		return fmt.Errorf("%w: %d shares need %d bytes, have %d",
+			wire.ErrMalformed, count, int(count)*ShareEncodedSize, len(rest))
+	}
+	out := make(ShareVec, count)
+	for i := range out {
+		out[i], rest, err = ShareFromBytes(rest)
+		if err != nil {
+			return fmt.Errorf("share %d: %w", i, err)
+		}
+	}
+	*v = out
+	return nil
+}
+
+// WriteTo implements io.WriterTo.
+func (v ShareVec) WriteTo(w io.Writer) (int64, error) {
+	return wire.WriteBinary(w, v)
+}
+
+// ReadFrom implements io.ReaderFrom.
+func (v *ShareVec) ReadFrom(r io.Reader) (int64, error) {
+	count, n, err := wire.ReadUint32(r)
+	if err != nil {
+		return int64(n), err
+	}
+	if uint64(count)*ShareEncodedSize > wire.MaxLen {
+		return int64(n), fmt.Errorf("%w: share count %d exceeds limit", wire.ErrMalformed, count)
+	}
+	buf := make([]byte, int(count)*ShareEncodedSize)
+	m, err := io.ReadFull(r, buf)
+	n += m
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return int64(n), err
+	}
+	out := make(ShareVec, count)
+	for i := range out {
+		out[i], buf, err = ShareFromBytes(buf)
+		if err != nil {
+			return int64(n), fmt.Errorf("share %d: %w", i, err)
+		}
+	}
+	*v = out
+	return int64(n), nil
+}
+
+var (
+	_ encoding.BinaryMarshaler   = ShareVec(nil)
+	_ encoding.BinaryUnmarshaler = (*ShareVec)(nil)
+	_ io.WriterTo                = ShareVec(nil)
+	_ io.ReaderFrom              = (*ShareVec)(nil)
+)

@@ -25,8 +25,11 @@ type Posting struct {
 	// Phase and Category attribute the bytes for reporting.
 	Phase    comm.Phase
 	Category comm.Category
-	// Size is the metered wire size in bytes.
+	// Size is the metered wire size in bytes — always len(Bytes).
 	Size int
+	// Bytes is the message's binary encoding, the authoritative wire
+	// artifact (docs/WIRE.md). Consumers must treat it as immutable.
+	Bytes []byte
 	// Payload is the in-process representation of the posted message.
 	// Consumers must treat it as immutable.
 	Payload any
@@ -65,18 +68,19 @@ func NewBoard(meter *comm.Meter) *Board {
 	return &Board{meter: meter}
 }
 
-// Post appends a posting and meters its size. It returns the assigned
-// sequence number.
-func (b *Board) Post(from string, phase comm.Phase, cat comm.Category, size int, payload any) int {
-	if size < 0 {
-		panic(fmt.Sprintf("transport: negative posting size %d", size))
-	}
+// Post appends a posting carrying the message's binary encoding and meters
+// the measured encoded length — the posting's Size is len(wire) by
+// construction, never a caller claim. The caller must not modify wire
+// after posting. payload is the optional in-process form consumed by the
+// protocol drivers. Post returns the assigned sequence number.
+func (b *Board) Post(from string, phase comm.Phase, cat comm.Category, wire []byte, payload any) int {
+	size := len(wire)
 	b.meter.Add(phase, cat, size)
 	b.postCount.Inc()
 	b.postBytes.Observe(float64(size))
 	b.mu.Lock()
 	seq := len(b.postings)
-	p := Posting{Seq: seq, From: from, Phase: phase, Category: cat, Size: size, Payload: payload}
+	p := Posting{Seq: seq, From: from, Phase: phase, Category: cat, Size: size, Bytes: wire, Payload: payload}
 	b.postings = append(b.postings, p)
 	observers := b.observers
 	b.mu.Unlock()

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"testing"
@@ -11,7 +12,7 @@ import (
 func TestBoardAppendOnly(t *testing.T) {
 	b := NewBoard(nil)
 	for i := 0; i < 10; i++ {
-		seq := b.Post(fmt.Sprintf("r%d", i), comm.PhaseOffline, comm.CatLambda, i, i)
+		seq := b.Post(fmt.Sprintf("r%d", i), comm.PhaseOffline, comm.CatLambda, make([]byte, i), i)
 		if seq != i {
 			t.Fatalf("seq = %d, want %d", seq, i)
 		}
@@ -24,7 +25,7 @@ func TestBoardAppendOnly(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if p.Payload != i || p.Size != i {
+		if p.Payload != i || p.Size != i || len(p.Bytes) != i {
 			t.Errorf("posting %d = %+v", i, p)
 		}
 	}
@@ -44,8 +45,8 @@ func TestBoardSharedMeter(t *testing.T) {
 	m := &comm.Meter{}
 	b1 := NewBoard(m)
 	b2 := NewBoard(m)
-	b1.Post("a", comm.PhaseOnline, comm.CatMu, 10, nil)
-	b2.Post("b", comm.PhaseOnline, comm.CatMu, 20, nil)
+	b1.Post("a", comm.PhaseOnline, comm.CatMu, make([]byte, 10), nil)
+	b2.Post("b", comm.PhaseOnline, comm.CatMu, make([]byte, 20), nil)
 	if m.Report().Total != 30 {
 		t.Errorf("shared meter total = %d, want 30", m.Report().Total)
 	}
@@ -62,7 +63,7 @@ func TestBoardConcurrentPosts(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
-				b.Post(fmt.Sprintf("g%d", g), comm.PhaseOffline, comm.CatBeaver, 1, nil)
+				b.Post(fmt.Sprintf("g%d", g), comm.PhaseOffline, comm.CatBeaver, []byte{0}, nil)
 			}
 		}(g)
 	}
@@ -85,19 +86,30 @@ func TestBoardConcurrentPosts(t *testing.T) {
 
 func TestBoardAllIsSnapshot(t *testing.T) {
 	b := NewBoard(nil)
-	b.Post("a", comm.PhaseSetup, comm.CatCRS, 1, "x")
+	b.Post("a", comm.PhaseSetup, comm.CatCRS, []byte{1}, "x")
 	all := b.All()
-	b.Post("b", comm.PhaseSetup, comm.CatCRS, 1, "y")
+	b.Post("b", comm.PhaseSetup, comm.CatCRS, []byte{2}, "y")
 	if len(all) != 1 {
 		t.Error("All() snapshot grew")
 	}
 }
 
-func TestBoardNegativeSizePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("negative posting size accepted")
-		}
-	}()
-	NewBoard(nil).Post("a", comm.PhaseSetup, comm.CatCRS, -1, nil)
+// The board's Size is measured from the posted bytes, never claimed: a nil
+// payload encoding meters zero, and the stored bytes round-trip unchanged.
+func TestBoardSizeIsMeasured(t *testing.T) {
+	b := NewBoard(nil)
+	b.Post("a", comm.PhaseSetup, comm.CatCRS, nil, "empty")
+	wire := []byte{0xde, 0xad, 0xbe, 0xef}
+	b.Post("b", comm.PhaseOnline, comm.CatMu, wire, "four")
+	p0, _ := b.Get(0)
+	if p0.Size != 0 || len(p0.Bytes) != 0 {
+		t.Errorf("nil-encoding post: size %d bytes %d, want 0/0", p0.Size, len(p0.Bytes))
+	}
+	p1, _ := b.Get(1)
+	if p1.Size != 4 || !bytes.Equal(p1.Bytes, wire) {
+		t.Errorf("post bytes = %x size %d, want %x size 4", p1.Bytes, p1.Size, wire)
+	}
+	if got := b.Report().Total; got != 4 {
+		t.Errorf("metered total = %d, want 4", got)
+	}
 }

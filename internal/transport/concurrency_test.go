@@ -25,7 +25,7 @@ func TestServerConcurrentPostTailClose(t *testing.T) {
 			}
 			defer c.Close()
 			for i := 0; i < each; i++ {
-				if _, err := c.Post("w", comm.PhaseOffline, comm.CatLambda, 1, ""); err != nil {
+				if _, err := c.Post("w", comm.PhaseOffline, comm.CatLambda, []byte{0}); err != nil {
 					return
 				}
 			}
@@ -79,7 +79,7 @@ func TestBoardConcurrentUse(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < each; i++ {
-				board.Post("w", comm.PhaseOnline, comm.CatMu, 2, nil)
+				board.Post("w", comm.PhaseOnline, comm.CatMu, []byte{0, 1}, nil)
 			}
 		}()
 	}

@@ -2,59 +2,49 @@ package transport
 
 import (
 	"bufio"
-	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"yosompc/internal/comm"
 	"yosompc/internal/telemetry"
+	"yosompc/internal/wire"
 )
 
 // A networked bulletin-board service: the deployment-shaped counterpart of
-// the in-process Board. A Server accepts TCP connections speaking a
-// newline-delimited JSON protocol with two requests:
+// the in-process Board. A Server accepts TCP connections speaking the
+// binary protocol of docs/WIRE.md. Every frame starts with the wire
+// version byte and an opcode:
 //
-//	{"op":"post", "from":…, "phase":…, "category":…, "size":…, "summary":…}
-//	  → {"ok":true, "seq":N}
-//	{"op":"tail", "since":N}
-//	  → a stream of Entry lines, first the backlog from N, then live posts
+//	post: ver | 0x01 | str8 from | str8 phase | str8 category |
+//	      u32 claimed size | u32 payload len | payload
+//	  → ver | status (0 ok: u32 seq; 1 err: u32 len | message)
+//	tail: ver | 0x02 | u32 since
+//	  → a stream of Entry frames, first the backlog from `since`, then
+//	    live posts, until either side closes
 //
-// Payload *contents* stay with the poster (the protocol drivers work on
-// in-process values); the service carries the public metadata — who
-// posted, in which phase/category, how many bytes — which is exactly what
-// remote observers audit and what the communication experiments measure.
-// A Mirror forwards an in-process run's postings to a Server as they
-// happen.
+// The payload is the message's real binary encoding; the server meters the
+// *measured* payload length and rejects posts whose claimed size disagrees,
+// so a poster cannot influence the byte accounting by lying. A Mirror
+// forwards an in-process run's postings — bytes included — to a Server as
+// they happen.
 
-// Entry is the wire form of one posting.
-type Entry struct {
-	Seq      int    `json:"seq"`
-	From     string `json:"from"`
-	Phase    string `json:"phase"`
-	Category string `json:"category"`
-	Size     int    `json:"size"`
-	// Summary is an optional human-readable description of the payload.
-	Summary string `json:"summary,omitempty"`
-}
+// Protocol opcodes.
+const (
+	opPost byte = 0x01
+	opTail byte = 0x02
+)
 
-type request struct {
-	Op       string `json:"op"`
-	From     string `json:"from,omitempty"`
-	Phase    string `json:"phase,omitempty"`
-	Category string `json:"category,omitempty"`
-	Size     int    `json:"size,omitempty"`
-	Summary  string `json:"summary,omitempty"`
-	Since    int    `json:"since,omitempty"`
-}
-
-type response struct {
-	OK    bool   `json:"ok"`
-	Seq   int    `json:"seq,omitempty"`
-	Error string `json:"error,omitempty"`
-}
+// Post response statuses.
+const (
+	statusOK  byte = 0x00
+	statusErr byte = 0x01
+)
 
 // tailBuffer is the per-subscription live-delivery channel capacity.
 const tailBuffer = 256
@@ -77,6 +67,7 @@ type Server struct {
 	mu      sync.Mutex
 	entries []Entry
 	subs    map[*subscriber]struct{}
+	conns   map[net.Conn]struct{}
 	closed  bool
 
 	// Telemetry instruments, nil (no-op, zero cost) until Instrument is
@@ -88,6 +79,7 @@ type Server struct {
 	resyncs   *telemetry.Counter   // transport.tail_resyncs
 	tailLag   *telemetry.Gauge     // transport.tail_lag_max
 	reaps     *telemetry.Counter   // transport.conn_reaps
+	rejects   *telemetry.Counter   // transport.post_rejects
 
 	wg sync.WaitGroup
 }
@@ -96,8 +88,9 @@ type Server struct {
 // recording:
 //
 //	transport.posts         counter    accepted post requests
-//	transport.post_bytes    histogram  metered posting sizes
+//	transport.post_bytes    histogram  measured posting sizes
 //	transport.post_ns       histogram  post handling latency
+//	transport.post_rejects  counter    rejected posts (size mismatch, malformed)
 //	transport.tail_write_ns histogram  per-entry tail delivery latency
 //	transport.tail_resyncs  counter    gapped-subscription log re-syncs
 //	transport.tail_lag_max  gauge      largest backlog a re-sync replayed
@@ -116,6 +109,7 @@ func (s *Server) Instrument(reg *telemetry.Registry) {
 	s.resyncs = reg.Counter("transport.tail_resyncs")
 	s.tailLag = reg.Gauge("transport.tail_lag_max")
 	s.reaps = reg.Counter("transport.conn_reaps")
+	s.rejects = reg.Counter("transport.post_rejects")
 }
 
 // Serve starts a server on the listener and returns immediately; Close
@@ -125,6 +119,7 @@ func Serve(ln net.Listener) *Server {
 		ln:    ln,
 		meter: &comm.Meter{},
 		subs:  map[*subscriber]struct{}{},
+		conns: map[net.Conn]struct{}{},
 	}
 	s.wg.Add(1)
 	go func() {
@@ -134,10 +129,21 @@ func Serve(ln net.Listener) *Server {
 			if err != nil {
 				return // listener closed
 			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				_ = conn.Close()
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
 			s.wg.Add(1)
 			go func() {
 				defer s.wg.Done()
 				s.handle(conn)
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
 			}()
 		}
 	}()
@@ -154,7 +160,23 @@ func (s *Server) Len() int {
 	return len(s.entries)
 }
 
-// Report returns the byte accounting of everything posted so far.
+// Entries returns a snapshot of the stored entries from sequence `since`.
+func (s *Server) Entries(since int) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if since < 0 {
+		since = 0
+	}
+	if since >= len(s.entries) {
+		return nil
+	}
+	out := make([]Entry, len(s.entries)-since)
+	copy(out, s.entries[since:])
+	return out
+}
+
+// Report returns the byte accounting of everything posted so far — every
+// size in it was measured from real payload bytes.
 func (s *Server) Report() comm.Report { return s.meter.Report() }
 
 // Close stops accepting connections, terminates tailers and waits for all
@@ -169,6 +191,11 @@ func (s *Server) Close() error {
 		_ = sub.conn.Close()
 	}
 	s.subs = map[*subscriber]struct{}{}
+	// Unblock handlers parked reading the next frame from idle posters.
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.conns = map[net.Conn]struct{}{}
 	s.mu.Unlock()
 	s.wg.Wait()
 	return err
@@ -176,53 +203,126 @@ func (s *Server) Close() error {
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	dec := json.NewDecoder(bufio.NewReader(conn))
-	enc := json.NewEncoder(conn)
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
 	for {
-		var req request
-		if err := dec.Decode(&req); err != nil {
+		var hdr [2]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			return
 		}
-		switch req.Op {
-		case "post":
-			seq, err := s.post(req)
+		if hdr[0] != wire.Version {
+			s.writeErr(bw, fmt.Sprintf("unsupported wire version %d", hdr[0]))
+			return
+		}
+		switch hdr[1] {
+		case opPost:
+			req, err := readPostRequest(br)
 			if err != nil {
-				_ = enc.Encode(response{Error: err.Error()})
-				continue
-			}
-			if err := enc.Encode(response{OK: true, Seq: seq}); err != nil {
+				// The stream is not trustworthy past a malformed frame.
+				s.rejects.Inc()
+				s.writeErr(bw, err.Error())
 				return
 			}
-		case "tail":
-			s.tail(conn, enc, req.Since)
+			seq, err := s.post(req)
+			if err != nil {
+				s.rejects.Inc()
+				if !s.writeErr(bw, err.Error()) {
+					return
+				}
+				continue
+			}
+			if !s.writeOK(bw, seq) {
+				return
+			}
+		case opTail:
+			since, _, err := wire.ReadUint32(br)
+			if err != nil {
+				return
+			}
+			s.tail(conn, bw, int(since))
 			return // tail owns the connection until shutdown
 		default:
-			_ = enc.Encode(response{Error: fmt.Sprintf("unknown op %q", req.Op)})
+			s.writeErr(bw, fmt.Sprintf("unknown op %d", hdr[1]))
+			return
 		}
 	}
 }
 
-func (s *Server) post(req request) (int, error) {
-	if req.Size < 0 {
-		return 0, errors.New("negative size")
+// postRequest is a decoded post frame.
+type postRequest struct {
+	from, phase, category string
+	claimed               int
+	payload               []byte
+}
+
+func readPostRequest(br *bufio.Reader) (postRequest, error) {
+	var req postRequest
+	var err error
+	if req.from, _, err = wire.ReadString8(br); err != nil {
+		return req, fmt.Errorf("reading poster: %w", err)
 	}
-	if req.From == "" {
+	if req.phase, _, err = wire.ReadString8(br); err != nil {
+		return req, fmt.Errorf("reading phase: %w", err)
+	}
+	if req.category, _, err = wire.ReadString8(br); err != nil {
+		return req, fmt.Errorf("reading category: %w", err)
+	}
+	claimed, _, err := wire.ReadUint32(br)
+	if err != nil {
+		return req, fmt.Errorf("reading claimed size: %w", err)
+	}
+	req.claimed = int(claimed)
+	if req.payload, _, err = wire.ReadBytes32(br); err != nil {
+		return req, fmt.Errorf("reading payload: %w", err)
+	}
+	return req, nil
+}
+
+func (s *Server) writeOK(bw *bufio.Writer, seq int) bool {
+	buf := make([]byte, 0, 6)
+	buf = append(buf, wire.Version, statusOK)
+	buf = wire.AppendUint32(buf, uint32(seq))
+	if _, err := bw.Write(buf); err != nil {
+		return false
+	}
+	return bw.Flush() == nil
+}
+
+func (s *Server) writeErr(bw *bufio.Writer, msg string) bool {
+	buf := make([]byte, 0, 6+len(msg))
+	buf = append(buf, wire.Version, statusErr)
+	buf = wire.AppendBytes32(buf, []byte(msg))
+	if _, err := bw.Write(buf); err != nil {
+		return false
+	}
+	return bw.Flush() == nil
+}
+
+func (s *Server) post(req postRequest) (int, error) {
+	if req.from == "" {
 		return 0, errors.New("missing poster")
+	}
+	// The measured encoded length is authoritative; a disagreeing claim is
+	// a protocol violation, not a rounding error.
+	if req.claimed != len(req.payload) {
+		return 0, fmt.Errorf("claimed size %d disagrees with measured payload size %d",
+			req.claimed, len(req.payload))
 	}
 	var start time.Time
 	if s.postNS != nil {
 		start = time.Now()
 	}
-	s.meter.Add(comm.Phase(req.Phase), comm.Category(req.Category), req.Size)
+	size := len(req.payload)
+	s.meter.Add(comm.Phase(req.phase), comm.Category(req.category), size)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e := Entry{
 		Seq:      len(s.entries),
-		From:     req.From,
-		Phase:    req.Phase,
-		Category: req.Category,
-		Size:     req.Size,
-		Summary:  req.Summary,
+		From:     req.from,
+		Phase:    req.phase,
+		Category: req.category,
+		Size:     size,
+		Payload:  req.payload,
 	}
 	s.entries = append(s.entries, e)
 	for sub := range s.subs {
@@ -236,14 +336,14 @@ func (s *Server) post(req request) (int, error) {
 		}
 	}
 	s.postCount.Inc()
-	s.postBytes.Observe(float64(req.Size))
+	s.postBytes.Observe(float64(size))
 	if s.postNS != nil {
 		s.postNS.Observe(float64(time.Since(start)))
 	}
 	return e.Seq, nil
 }
 
-func (s *Server) tail(conn net.Conn, enc *json.Encoder, since int) {
+func (s *Server) tail(conn net.Conn, bw *bufio.Writer, since int) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -298,7 +398,10 @@ func (s *Server) tail(conn net.Conn, enc *json.Encoder, since int) {
 		if s.tailNS != nil {
 			start = time.Now()
 		}
-		if err := enc.Encode(e); err != nil {
+		if _, err := e.WriteTo(bw); err != nil {
+			return false
+		}
+		if err := bw.Flush(); err != nil {
 			return false
 		}
 		if s.tailNS != nil {
@@ -341,8 +444,8 @@ func (s *Server) tail(conn net.Conn, enc *json.Encoder, since int) {
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
-	dec  *json.Decoder
-	enc  *json.Encoder
+	br   *bufio.Reader
+	bw   *bufio.Writer
 }
 
 // Dial connects to a board server.
@@ -353,30 +456,57 @@ func Dial(addr string) (*Client, error) {
 	}
 	return &Client{
 		conn: conn,
-		dec:  json.NewDecoder(bufio.NewReader(conn)),
-		enc:  json.NewEncoder(conn),
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
 	}, nil
 }
 
-// Post publishes one entry and returns its sequence number.
-func (c *Client) Post(from string, phase comm.Phase, cat comm.Category, size int, summary string) (int, error) {
+// Post publishes one entry carrying the message's binary encoding and
+// returns its assigned sequence number. The claimed size the frame carries
+// is len(payload); the server re-measures and rejects any disagreement.
+func (c *Client) Post(from string, phase comm.Phase, cat comm.Category, payload []byte) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	err := c.enc.Encode(request{
-		Op: "post", From: from, Phase: string(phase), Category: string(cat),
-		Size: size, Summary: summary,
-	})
-	if err != nil {
+	buf := make([]byte, 0, 2+1+len(from)+1+len(phase)+1+len(cat)+8+len(payload))
+	buf = append(buf, wire.Version, opPost)
+	buf = wire.AppendString8(buf, from)
+	buf = wire.AppendString8(buf, string(phase))
+	buf = wire.AppendString8(buf, string(cat))
+	buf = wire.AppendUint32(buf, uint32(len(payload)))
+	buf = wire.AppendBytes32(buf, payload)
+	if _, err := c.bw.Write(buf); err != nil {
 		return 0, fmt.Errorf("transport: posting: %w", err)
 	}
-	var resp response
-	if err := c.dec.Decode(&resp); err != nil {
+	if err := c.bw.Flush(); err != nil {
+		return 0, fmt.Errorf("transport: posting: %w", err)
+	}
+	return c.readPostResponse()
+}
+
+func (c *Client) readPostResponse() (int, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
 		return 0, fmt.Errorf("transport: reading post response: %w", err)
 	}
-	if !resp.OK {
-		return 0, fmt.Errorf("transport: board rejected post: %s", resp.Error)
+	if hdr[0] != wire.Version {
+		return 0, fmt.Errorf("transport: post response version %d, want %d", hdr[0], wire.Version)
 	}
-	return resp.Seq, nil
+	switch hdr[1] {
+	case statusOK:
+		seq, _, err := wire.ReadUint32(c.br)
+		if err != nil {
+			return 0, fmt.Errorf("transport: reading post response: %w", err)
+		}
+		return int(seq), nil
+	case statusErr:
+		msg, _, err := wire.ReadBytes32(c.br)
+		if err != nil {
+			return 0, fmt.Errorf("transport: reading post error: %w", err)
+		}
+		return 0, fmt.Errorf("transport: board rejected post: %s", msg)
+	default:
+		return 0, fmt.Errorf("transport: post response status %d", hdr[1])
+	}
 }
 
 // Close closes the connection.
@@ -384,30 +514,57 @@ func (c *Client) Close() error { return c.conn.Close() }
 
 // Tail opens a streaming subscription from sequence `since`, delivering
 // entries on the returned channel until the connection or server closes.
+// The channel closes when the stream ends; the closer then reports how it
+// ended: nil after a clean server close (or a voluntary stop), the
+// terminal stream error after an abnormal one (a mid-frame disconnect
+// surfaces as io.ErrUnexpectedEOF). The closer blocks until the stream
+// goroutine has finished and may be called more than once.
 func Tail(addr string, since int) (<-chan Entry, func() error, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, nil, fmt.Errorf("transport: dialing board %s: %w", addr, err)
 	}
-	enc := json.NewEncoder(conn)
-	if err := enc.Encode(request{Op: "tail", Since: since}); err != nil {
+	if since < 0 {
+		since = 0
+	}
+	req := make([]byte, 0, 6)
+	req = append(req, wire.Version, opTail)
+	req = wire.AppendUint32(req, uint32(since))
+	if _, err := conn.Write(req); err != nil {
 		conn.Close()
 		return nil, nil, fmt.Errorf("transport: starting tail: %w", err)
 	}
 	out := make(chan Entry, 64)
 	done := make(chan struct{})
+	readerDone := make(chan struct{})
 	var once sync.Once
+	var termErr error // written once by the reader, read after readerDone
 	stop := func() error {
-		err := conn.Close()
-		once.Do(func() { close(done) })
-		return err
+		once.Do(func() {
+			close(done)
+			_ = conn.Close()
+		})
+		<-readerDone
+		return termErr
 	}
 	go func() {
+		defer close(readerDone)
 		defer close(out)
-		dec := json.NewDecoder(bufio.NewReader(conn))
+		br := bufio.NewReader(conn)
 		for {
 			var e Entry
-			if err := dec.Decode(&e); err != nil {
+			if _, err := e.ReadFrom(br); err != nil {
+				select {
+				case <-done:
+					// Voluntary stop: the consumer closed the connection
+					// under the reader; not a stream failure.
+				default:
+					if err != io.EOF {
+						// Clean server close is io.EOF at a frame
+						// boundary; anything else is abnormal.
+						termErr = err
+					}
+				}
 				return
 			}
 			select {
@@ -423,19 +580,54 @@ func Tail(addr string, since int) (<-chan Entry, func() error, error) {
 	return out, stop, nil
 }
 
-// AttachMirror forwards every posting of an in-process board to a remote
-// server as it happens (metadata + sizes; payloads stay local — they are
-// Go values, and the public record the service carries is who posted how
-// many bytes of what). Remote failures degrade silently: the local board
-// is authoritative and observability is best-effort by design. The
-// returned closer releases the connection.
-func AttachMirror(board *Board, addr string) (func() error, error) {
+// Mirror forwards every posting of an in-process board — real encoded
+// payload bytes included — to a remote server as it happens. Forwarding is
+// synchronous with the posting observer, so when the mirrored run
+// finishes, the server's measured report is complete. The local board
+// stays authoritative for the run itself: a remote failure never stalls
+// the protocol, but it is counted (and logged once) rather than silently
+// swallowed.
+type Mirror struct {
+	client *Client
+
+	errs    atomic.Int64
+	logOnce sync.Once
+
+	errCount *telemetry.Counter // transport.mirror_post_errors
+}
+
+// AttachMirror dials addr and subscribes the mirror to the board. Call
+// Instrument before the board takes traffic to expose the error counter.
+func AttachMirror(board *Board, addr string) (*Mirror, error) {
 	client, err := Dial(addr)
 	if err != nil {
 		return nil, err
 	}
+	m := &Mirror{client: client}
 	board.Observe(func(p Posting) {
-		_, _ = client.Post(p.From, p.Phase, p.Category, p.Size, fmt.Sprintf("%T", p.Payload))
+		if _, err := m.client.Post(p.From, p.Phase, p.Category, p.Bytes); err != nil {
+			m.errs.Add(1)
+			m.errCount.Inc()
+			m.logOnce.Do(func() {
+				log.Printf("transport: mirror post to remote board failed (further failures counted, not logged): %v", err)
+			})
+		}
 	})
-	return client.Close, nil
+	return m, nil
 }
+
+// Instrument registers the mirror's transport.mirror_post_errors counter
+// on reg; a nil registry is a no-op.
+func (m *Mirror) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	m.errCount = reg.Counter("transport.mirror_post_errors")
+}
+
+// Errors returns how many forwarded posts have failed.
+func (m *Mirror) Errors() int64 { return m.errs.Load() }
+
+// Close releases the mirror's connection. Postings observed after Close
+// count as forwarding failures.
+func (m *Mirror) Close() error { return m.client.Close() }

@@ -1,7 +1,7 @@
 package transport
 
 import (
-	"encoding/json"
+	"bufio"
 	"net"
 	"runtime"
 	"testing"
@@ -25,7 +25,7 @@ func TestTailStopUnblocksReader(t *testing.T) {
 	// ends up blocked mid-send once the consumer stops draining.
 	const posts = 100
 	for i := 0; i < posts; i++ {
-		if _, err := c.Post("r", comm.PhaseOnline, comm.CatMu, 8, ""); err != nil {
+		if _, err := c.Post("r", comm.PhaseOnline, comm.CatMu, make([]byte, 8)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -74,7 +74,7 @@ func TestSlowTailerSeesEverySeq(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		s.tail(srv, json.NewEncoder(srv), 0)
+		s.tail(srv, bufio.NewWriter(srv), 0)
 	}()
 
 	// Wait until the subscription is registered, so the posts below go
@@ -98,15 +98,15 @@ func TestSlowTailerSeesEverySeq(t *testing.T) {
 	// consumer reads nothing: the excess posts must mark the sub gapped.
 	const posts = 3 * tailBuffer
 	for i := 0; i < posts; i++ {
-		if _, err := s.post(request{Op: "post", From: "r", Phase: "online", Category: "mu", Size: 1}); err != nil {
+		if _, err := s.post(postRequest{from: "r", phase: "online", category: "mu", claimed: 1, payload: []byte{0}}); err != nil {
 			t.Fatal(err)
 		}
 	}
 
-	dec := json.NewDecoder(cli)
+	br := bufio.NewReader(cli)
 	for want := 0; want < posts; want++ {
 		var e Entry
-		if err := dec.Decode(&e); err != nil {
+		if _, err := e.ReadFrom(br); err != nil {
 			t.Fatalf("decode entry %d: %v", want, err)
 		}
 		if e.Seq != want {
@@ -115,11 +115,11 @@ func TestSlowTailerSeesEverySeq(t *testing.T) {
 	}
 
 	// The subscription must still be live for later posts.
-	if _, err := s.post(request{Op: "post", From: "r", Phase: "online", Category: "mu", Size: 1}); err != nil {
+	if _, err := s.post(postRequest{from: "r", phase: "online", category: "mu", claimed: 1, payload: []byte{0}}); err != nil {
 		t.Fatal(err)
 	}
 	var e Entry
-	if err := dec.Decode(&e); err != nil {
+	if _, err := e.ReadFrom(br); err != nil {
 		t.Fatal(err)
 	}
 	if e.Seq != posts {

@@ -1,0 +1,133 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"yosompc/internal/wire"
+)
+
+// TestEntryGoldenWire pins the committed byte-exact frame layout
+// (docs/WIRE.md): u8 version | u32 seq | str8 from | str8 phase |
+// str8 category | u32 payload len | payload. Changing any of these bytes
+// is a wire-format break and must bump wire.Version.
+func TestEntryGoldenWire(t *testing.T) {
+	e := Entry{
+		Seq:      7,
+		From:     "off1/3",
+		Phase:    "offline",
+		Category: "beaver",
+		Size:     4,
+		Payload:  []byte{0xde, 0xad, 0xbe, 0xef},
+	}
+	golden := []byte{
+		0x01,                   // version
+		0x00, 0x00, 0x00, 0x07, // seq
+		0x06, 'o', 'f', 'f', '1', '/', '3', // from
+		0x07, 'o', 'f', 'f', 'l', 'i', 'n', 'e', // phase
+		0x06, 'b', 'e', 'a', 'v', 'e', 'r', // category
+		0x00, 0x00, 0x00, 0x04, // payload length
+		0xde, 0xad, 0xbe, 0xef, // payload
+	}
+	enc, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, golden) {
+		t.Errorf("encoded frame:\n got %x\nwant %x", enc, golden)
+	}
+	if len(enc) != e.EncodedSize() {
+		t.Errorf("EncodedSize = %d, encoded %d bytes", e.EncodedSize(), len(enc))
+	}
+	var dec Entry
+	if err := dec.UnmarshalBinary(golden); err != nil {
+		t.Fatal(err)
+	}
+	if dec.Seq != 7 || dec.From != "off1/3" || dec.Phase != "offline" ||
+		dec.Category != "beaver" || dec.Size != 4 || !bytes.Equal(dec.Payload, e.Payload) {
+		t.Errorf("decoded = %+v", dec)
+	}
+}
+
+func TestEntryStreamRoundTrip(t *testing.T) {
+	in := []Entry{
+		{Seq: 0, From: "a", Phase: "setup", Category: "crs", Size: 0, Payload: nil},
+		{Seq: 1, From: "off1/1", Phase: "offline", Category: "lambda", Size: 3, Payload: []byte{1, 2, 3}},
+		{Seq: 2, From: "on/4", Phase: "online", Category: "mu", Size: 1, Payload: []byte{9}},
+	}
+	var buf bytes.Buffer
+	for _, e := range in {
+		if _, err := e.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range in {
+		var got Entry
+		if _, err := got.ReadFrom(&buf); err != nil {
+			t.Fatalf("entry %d: %v", i, err)
+		}
+		if got.Seq != want.Seq || got.From != want.From || got.Size != want.Size ||
+			!bytes.Equal(got.Payload, want.Payload) {
+			t.Errorf("entry %d = %+v, want %+v", i, got, want)
+		}
+	}
+	var extra Entry
+	if _, err := extra.ReadFrom(&buf); err != io.EOF {
+		t.Errorf("read past stream end = %v, want io.EOF", err)
+	}
+}
+
+func TestEntryDecodeRejectsMalformed(t *testing.T) {
+	good, _ := Entry{Seq: 1, From: "r", Phase: "online", Category: "mu", Size: 2, Payload: []byte{1, 2}}.MarshalBinary()
+	cases := map[string][]byte{
+		"empty":         {},
+		"wrong version": append([]byte{0x02}, good[1:]...),
+		"truncated":     good[:len(good)-1],
+		"trailing":      append(append([]byte{}, good...), 0x00),
+	}
+	for name, data := range cases {
+		var e Entry
+		if err := e.UnmarshalBinary(data); err == nil {
+			t.Errorf("%s: decode succeeded", name)
+		} else if name != "truncated" && !errors.Is(err, wire.ErrMalformed) {
+			t.Errorf("%s: err = %v, not wire.ErrMalformed", name, err)
+		}
+	}
+	// Mid-frame EOF on a stream is io.ErrUnexpectedEOF, never a silent stop.
+	var e Entry
+	if _, err := e.ReadFrom(bytes.NewReader(good[:len(good)-1])); err != io.ErrUnexpectedEOF {
+		t.Errorf("mid-frame stream EOF = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+// FuzzWireRoundTrip feeds arbitrary bytes through the Entry decoder: it
+// must never panic, and anything it accepts must re-encode to the exact
+// same bytes (a canonical encoding, so measured sizes are reproducible).
+func FuzzWireRoundTrip(f *testing.F) {
+	seed, _ := Entry{Seq: 3, From: "off1/2", Phase: "offline", Category: "reshare",
+		Size: 5, Payload: []byte{1, 2, 3, 4, 5}}.MarshalBinary()
+	f.Add(seed)
+	empty, _ := Entry{From: "", Phase: "", Category: ""}.MarshalBinary()
+	f.Add(empty)
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Add([]byte{0x01, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var e Entry
+		if err := e.UnmarshalBinary(data); err != nil {
+			return
+		}
+		if e.Size != len(e.Payload) {
+			t.Fatalf("decoded Size %d != len(Payload) %d", e.Size, len(e.Payload))
+		}
+		re, err := e.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encoding accepted entry: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not byte-identical:\n in %x\nout %x", data, re)
+		}
+	})
+}

@@ -107,12 +107,25 @@ func (s *Sim) DecodeSubShare(_ PublicKey, data []byte) (SubShare, error) {
 }
 
 // Codec is the serialization surface both backends provide; the protocol
-// layer uses it to move TE messages through PKE envelopes.
+// layer uses it to move TE messages through PKE envelopes and to put real
+// ciphertext bytes on the board (wire.go holds the ciphertext, key-share
+// and public-key codecs).
 type Codec interface {
 	EncodePartial(p PartialDec) ([]byte, error)
 	DecodePartial(pk PublicKey, data []byte) (PartialDec, error)
 	EncodeSubShare(s SubShare) ([]byte, error)
 	DecodeSubShare(pk PublicKey, data []byte) (SubShare, error)
+	// EncodeCiphertext serializes a ciphertext as exactly Size() bytes;
+	// DecodeCiphertext re-attaches the public plaintext bound (nil means
+	// pk.MaxPlaintext()).
+	EncodeCiphertext(ct Ciphertext) ([]byte, error)
+	DecodeCiphertext(pk PublicKey, bound *big.Int, data []byte) (Ciphertext, error)
+	// EncodeKeyShare/DecodeKeyShare serialize key shares for hand-off
+	// inside PKE envelopes.
+	EncodeKeyShare(sh KeyShare) ([]byte, error)
+	DecodeKeyShare(pk PublicKey, data []byte) (KeyShare, error)
+	// EncodePublicKey serializes the public key's board announcement.
+	EncodePublicKey(pk PublicKey) ([]byte, error)
 }
 
 // Compile-time interface checks.

@@ -1,0 +1,125 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestGoldenLayout pins the byte-level layout of every field helper: a
+// change here changes every codec in the repo and must bump Version.
+func TestGoldenLayout(t *testing.T) {
+	buf := AppendUint32(nil, 0x01020304)
+	buf = AppendString8(buf, "ab")
+	buf = AppendBytes32(buf, []byte{0xff})
+	golden := []byte{
+		0x01, 0x02, 0x03, 0x04, // uint32, big-endian
+		0x02, 'a', 'b', // str8: u8 length | bytes
+		0x00, 0x00, 0x00, 0x01, 0xff, // bytes32: u32 length | bytes
+	}
+	if !bytes.Equal(buf, golden) {
+		t.Fatalf("encoded = %x, want %x", buf, golden)
+	}
+
+	v, rest, err := Uint32(buf)
+	if err != nil || v != 0x01020304 {
+		t.Fatalf("Uint32 = %#x, %v", v, err)
+	}
+	s, rest, err := String8(rest)
+	if err != nil || s != "ab" {
+		t.Fatalf("String8 = %q, %v", s, err)
+	}
+	b, rest, err := Bytes32(rest)
+	if err != nil || !bytes.Equal(b, []byte{0xff}) || len(rest) != 0 {
+		t.Fatalf("Bytes32 = %x, rest %x, %v", b, rest, err)
+	}
+}
+
+func TestBytes32Copies(t *testing.T) {
+	enc := AppendBytes32(nil, []byte{1, 2, 3})
+	got, _, err := Bytes32(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc[4] = 9 // mutate the backing array after decode
+	if got[0] != 1 {
+		t.Error("Bytes32 aliases the input buffer instead of copying")
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	if _, _, err := Uint32([]byte{1, 2, 3}); !errors.Is(err, ErrMalformed) {
+		t.Errorf("short uint32: %v", err)
+	}
+	if _, _, err := String8([]byte{}); !errors.Is(err, ErrMalformed) {
+		t.Errorf("empty string field: %v", err)
+	}
+	if _, _, err := String8([]byte{5, 'a'}); !errors.Is(err, ErrMalformed) {
+		t.Errorf("truncated string: %v", err)
+	}
+	if _, _, err := Bytes32([]byte{0, 0, 0, 9, 1}); !errors.Is(err, ErrMalformed) {
+		t.Errorf("truncated bytes32: %v", err)
+	}
+	// A forged length prefix beyond MaxLen must be rejected before any
+	// allocation, not attempted.
+	huge := AppendUint32(nil, MaxLen+1)
+	if _, _, err := Bytes32(huge); !errors.Is(err, ErrMalformed) {
+		t.Errorf("oversized bytes32 length: %v", err)
+	}
+	if _, _, err := ReadBytes32(bytes.NewReader(huge)); !errors.Is(err, ErrMalformed) {
+		t.Errorf("oversized streamed bytes32 length: %v", err)
+	}
+}
+
+func TestAppendString8PanicsOnLongString(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AppendString8 accepted a 256-byte string")
+		}
+	}()
+	AppendString8(nil, strings.Repeat("x", 256))
+}
+
+// TestStreamEOFSemantics checks the stream readers' contract: EOF at a
+// field boundary is io.EOF only for the first byte of a read; running dry
+// mid-field is io.ErrUnexpectedEOF.
+func TestStreamEOFSemantics(t *testing.T) {
+	if _, _, err := ReadUint32(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("empty uint32 stream: %v, want io.EOF", err)
+	}
+	if _, _, err := ReadUint32(bytes.NewReader([]byte{1, 2})); err != io.ErrUnexpectedEOF {
+		t.Errorf("partial uint32 stream: %v, want io.ErrUnexpectedEOF", err)
+	}
+	if _, _, err := ReadString8(bytes.NewReader([]byte{3, 'a'})); err != io.ErrUnexpectedEOF {
+		t.Errorf("partial string stream: %v, want io.ErrUnexpectedEOF", err)
+	}
+	if _, _, err := ReadBytes32(bytes.NewReader([]byte{0, 0, 0, 2, 7})); err != io.ErrUnexpectedEOF {
+		t.Errorf("partial bytes32 stream: %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc := AppendUint32(nil, 42)
+	enc = AppendString8(enc, "phase")
+	enc = AppendBytes32(enc, []byte("payload"))
+	buf.Write(enc)
+
+	v, n1, err := ReadUint32(&buf)
+	if err != nil || v != 42 {
+		t.Fatalf("ReadUint32 = %d, %v", v, err)
+	}
+	s, n2, err := ReadString8(&buf)
+	if err != nil || s != "phase" {
+		t.Fatalf("ReadString8 = %q, %v", s, err)
+	}
+	b, n3, err := ReadBytes32(&buf)
+	if err != nil || string(b) != "payload" {
+		t.Fatalf("ReadBytes32 = %q, %v", b, err)
+	}
+	if n1+n2+n3 != len(enc) {
+		t.Errorf("byte counts sum to %d, encoded %d", n1+n2+n3, len(enc))
+	}
+}

@@ -50,7 +50,7 @@ func (a *Assignment) FormCommittee(name string, n int, phase comm.Phase) (*Commi
 			pub:       pub,
 			sec:       sec,
 		}
-		a.board.Post("role-assignment", phase, comm.CatRoleKeys, len(pub.Bytes()), pub)
+		a.board.Post("role-assignment", phase, comm.CatRoleKeys, pub.Bytes(), pub)
 	}
 	return c, nil
 }
@@ -72,7 +72,7 @@ func (a *Assignment) NewKnownParty(name string, index int, phase comm.Phase) (*R
 		pub:       pub,
 		sec:       sec,
 	}
-	a.board.Post("role-assignment", phase, comm.CatRoleKeys, len(pub.Bytes()), pub)
+	a.board.Post("role-assignment", phase, comm.CatRoleKeys, pub.Bytes(), pub)
 	return r, nil
 }
 

@@ -76,11 +76,11 @@ func (b *Broadcast) NextRound() {
 	b.rows = append(b.rows, map[string]any{})
 }
 
-// Send stores role's message for the current round, leaks it, meters it,
-// and kills the role (Spoke). A role may send exactly once across the
-// whole execution — the YOSO constraint, enforced here independently of
-// the Role.Post guard.
-func (b *Broadcast) Send(role *Role, size int, msg any) error {
+// Send stores role's message for the current round, leaks it, meters its
+// encoded bytes, and kills the role (Spoke). A role may send exactly once
+// across the whole execution — the YOSO constraint, enforced here
+// independently of the Role.Post guard.
+func (b *Broadcast) Send(role *Role, wire []byte, msg any) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if role.HasSpoken() {
@@ -93,7 +93,7 @@ func (b *Broadcast) Send(role *Role, size int, msg any) error {
 	}
 	if role.Behavior != FailStop {
 		b.rows[b.round][role.Name()] = msg
-		b.board.Post(role.Name(), b.phase, comm.CatMu, size, msg)
+		b.board.Post(role.Name(), b.phase, comm.CatMu, wire, msg)
 		if b.leak != nil {
 			b.leak(role.Name(), msg)
 		}

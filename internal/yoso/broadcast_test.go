@@ -23,7 +23,7 @@ func newBCWithCommittee(t *testing.T, n int, adv *Adversary) (*Broadcast, *Commi
 func TestBroadcastSendRead(t *testing.T) {
 	bc, c, _ := newBCWithCommittee(t, 3, nil)
 	for i := 1; i <= 3; i++ {
-		if err := bc.Send(c.Role(i), 8, i*100); err != nil {
+		if err := bc.Send(c.Role(i), make([]byte, 8), i*100); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -39,7 +39,7 @@ func TestBroadcastSendRead(t *testing.T) {
 
 func TestBroadcastCannotReadCurrentRound(t *testing.T) {
 	bc, c, _ := newBCWithCommittee(t, 1, nil)
-	if err := bc.Send(c.Role(1), 1, "x"); err != nil {
+	if err := bc.Send(c.Role(1), []byte{1}, "x"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := bc.Read(1); !errors.Is(err, ErrFutureRound) {
@@ -53,20 +53,20 @@ func TestBroadcastCannotReadCurrentRound(t *testing.T) {
 func TestBroadcastSpokeOnSend(t *testing.T) {
 	bc, c, _ := newBCWithCommittee(t, 1, nil)
 	r := c.Role(1)
-	if err := bc.Send(r, 1, "once"); err != nil {
+	if err := bc.Send(r, []byte{1}, "once"); err != nil {
 		t.Fatal(err)
 	}
 	if !r.HasSpoken() {
 		t.Error("role alive after Send")
 	}
-	if err := bc.Send(r, 1, "twice"); !errors.Is(err, ErrDoubleSend) {
+	if err := bc.Send(r, []byte{1}, "twice"); !errors.Is(err, ErrDoubleSend) {
 		t.Errorf("second send: err = %v", err)
 	}
 }
 
 func TestBroadcastFailStopSilent(t *testing.T) {
 	bc, c, _ := newBCWithCommittee(t, 2, NewAdversary(0, 2, 31))
-	if err := bc.Send(c.Role(1), 8, "lost"); err != nil {
+	if err := bc.Send(c.Role(1), make([]byte, 8), "lost"); err != nil {
 		t.Fatal(err)
 	}
 	bc.NextRound()
@@ -89,10 +89,10 @@ func TestBroadcastRushingLeak(t *testing.T) {
 	bc.SetLeak(func(role string, msg any) {
 		leaked = append(leaked, role)
 	})
-	if err := bc.Send(c.Role(1), 1, "a"); err != nil {
+	if err := bc.Send(c.Role(1), []byte{1}, "a"); err != nil {
 		t.Fatal(err)
 	}
-	if err := bc.Send(c.Role(2), 1, "b"); err != nil {
+	if err := bc.Send(c.Role(2), []byte{2}, "b"); err != nil {
 		t.Fatal(err)
 	}
 	// The adversary sees honest messages as they are sent, within the
@@ -105,7 +105,7 @@ func TestBroadcastRushingLeak(t *testing.T) {
 func TestBroadcastMetersBytes(t *testing.T) {
 	bc, c, board := newBCWithCommittee(t, 1, nil)
 	before := board.Report().Total
-	if err := bc.Send(c.Role(1), 123, "payload"); err != nil {
+	if err := bc.Send(c.Role(1), make([]byte, 123), "payload"); err != nil {
 		t.Fatal(err)
 	}
 	if got := board.Report().Total - before; got != 123 {
@@ -115,11 +115,11 @@ func TestBroadcastMetersBytes(t *testing.T) {
 
 func TestBroadcastRowsIsolated(t *testing.T) {
 	bc, c, _ := newBCWithCommittee(t, 2, nil)
-	if err := bc.Send(c.Role(1), 1, "r1"); err != nil {
+	if err := bc.Send(c.Role(1), []byte{1}, "r1"); err != nil {
 		t.Fatal(err)
 	}
 	bc.NextRound()
-	if err := bc.Send(c.Role(2), 1, "r2"); err != nil {
+	if err := bc.Send(c.Role(2), []byte{2}, "r2"); err != nil {
 		t.Fatal(err)
 	}
 	bc.NextRound()

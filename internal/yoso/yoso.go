@@ -99,10 +99,11 @@ func (r *Role) SecretKey() pke.SecretKey {
 	return r.sec
 }
 
-// Post publishes one message of the role's single broadcast. A role may
-// Post several board entries within its speaking window (they form one
-// logical message), but any Post after Spoke is a protocol violation.
-func (r *Role) Post(phase comm.Phase, cat comm.Category, size int, payload any) {
+// Post publishes one message of the role's single broadcast, carrying the
+// message's binary encoding (the board meters len(wire)). A role may Post
+// several board entries within its speaking window (they form one logical
+// message), but any Post after Spoke is a protocol violation.
+func (r *Role) Post(phase comm.Phase, cat comm.Category, wire []byte, payload any) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.spoke {
@@ -113,7 +114,7 @@ func (r *Role) Post(phase comm.Phase, cat comm.Category, size int, payload any) 
 		return
 	}
 	r.posted = true
-	r.board.Post(r.Name(), phase, cat, size, payload)
+	r.board.Post(r.Name(), phase, cat, wire, payload)
 }
 
 // Spoke delivers the Spoke token: the role is killed and its state erased.

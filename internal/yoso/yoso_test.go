@@ -50,7 +50,7 @@ func TestSpokeEnforcement(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := c.Role(1)
-	r.Post(comm.PhaseOffline, comm.CatLambda, 10, "msg")
+	r.Post(comm.PhaseOffline, comm.CatLambda, make([]byte, 10), "msg")
 	if board.Len() != 3 { // 2 role keys + 1 message
 		t.Errorf("board has %d postings", board.Len())
 	}
@@ -63,7 +63,7 @@ func TestSpokeEnforcement(t *testing.T) {
 			t.Error("no panic when posting after Spoke")
 		}
 	}()
-	r.Post(comm.PhaseOffline, comm.CatLambda, 10, "again")
+	r.Post(comm.PhaseOffline, comm.CatLambda, make([]byte, 10), "again")
 }
 
 func TestSecretErasedAfterSpoke(t *testing.T) {
@@ -90,7 +90,7 @@ func TestFailStopPostsNothing(t *testing.T) {
 	}
 	before := board.Len()
 	for i := 1; i <= 3; i++ {
-		c.Role(i).Post(comm.PhaseOnline, comm.CatMu, 100, "x")
+		c.Role(i).Post(comm.PhaseOnline, comm.CatMu, make([]byte, 100), "x")
 	}
 	if board.Len() != before {
 		t.Errorf("fail-stop roles posted %d messages", board.Len()-before)
@@ -197,8 +197,8 @@ func TestBehaviorString(t *testing.T) {
 
 func TestBoardPostingOrder(t *testing.T) {
 	board := transport.NewBoard(nil)
-	s1 := board.Post("a", comm.PhaseSetup, comm.CatCRS, 1, "one")
-	s2 := board.Post("b", comm.PhaseSetup, comm.CatCRS, 2, "two")
+	s1 := board.Post("a", comm.PhaseSetup, comm.CatCRS, []byte{1}, "one")
+	s2 := board.Post("b", comm.PhaseSetup, comm.CatCRS, []byte{2, 2}, "two")
 	if s1 != 0 || s2 != 1 {
 		t.Errorf("sequence numbers %d, %d", s1, s2)
 	}

@@ -230,11 +230,14 @@ func Run(cfg Config, circ *Circuit, inputs map[int][]Value) (*Result, error) {
 		return nil, err
 	}
 	if cfg.MirrorAddr != "" {
-		closeMirror, err := transport.AttachMirror(proto.Board(), cfg.MirrorAddr)
+		mirror, err := transport.AttachMirror(proto.Board(), cfg.MirrorAddr)
 		if err != nil {
 			return nil, err
 		}
-		defer closeMirror()
+		if cfg.Metrics != nil {
+			mirror.Instrument(cfg.Metrics)
+		}
+		defer func() { _ = mirror.Close() }()
 	}
 	res, err := proto.Run(inputs)
 	if err != nil {

@@ -2,6 +2,7 @@ package yosompc
 
 import (
 	"net"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -188,7 +189,21 @@ func TestFacadeMirror(t *testing.T) {
 	if int64(server.Len()) != res.Report.Postings {
 		t.Errorf("remote postings %d, local %d", server.Len(), res.Report.Postings)
 	}
-	if server.Report().Total != res.Report.Total {
-		t.Errorf("remote bytes %d, local %d", server.Report().Total, res.Report.Total)
+	// The server meters what it measures on received payloads, never a
+	// claimed size — so the full per-phase, per-category breakdown must
+	// reproduce the in-process report exactly.
+	if remote := server.Report(); !reflect.DeepEqual(remote, res.Report) {
+		t.Errorf("remote report %+v\nlocal report %+v", remote, res.Report)
+	}
+	// And the mirrored entries carry the real encoded bytes, not stubs.
+	var payloadSum int64
+	for _, e := range server.Entries(0) {
+		if e.Size != len(e.Payload) {
+			t.Fatalf("entry #%d: Size %d but %d payload bytes", e.Seq, e.Size, len(e.Payload))
+		}
+		payloadSum += int64(len(e.Payload))
+	}
+	if payloadSum != res.Report.Total {
+		t.Errorf("entry payloads sum to %d bytes, local report says %d", payloadSum, res.Report.Total)
 	}
 }
