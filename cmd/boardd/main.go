@@ -63,7 +63,7 @@ func serve(addr, debugAddr string) {
 			fmt.Fprintf(os.Stderr, "boardd: debug listener: %v\n", err)
 			os.Exit(1)
 		}
-		go func() { _ = http.Serve(dln, telemetry.Handler(reg, nil)) }()
+		go func() { _ = http.Serve(dln, telemetry.Handler(reg, nil)) }() //yosolint:daemon debug endpoint serves for the process lifetime; the listener dies with the process
 		fmt.Printf("boardd: metrics and pprof on http://%s\n", dln.Addr())
 	}
 	fmt.Printf("boardd: serving bulletin board on %s\n", s.Addr())

@@ -1,17 +1,21 @@
 // Command yosolint runs the repo's static-analysis suite: custom
-// analyzers enforcing the crypto and YOSO invariants the compiler cannot
-// check (crypto/rand for secret randomness, speak-once role discipline,
-// reduction-preserving field arithmetic, handled board errors, and
-// secretflow's interprocedural secret-taint tracking).
+// analyzers enforcing the crypto, YOSO, and concurrency invariants the
+// compiler cannot check (crypto/rand for secret randomness, speak-once
+// role discipline, reduction-preserving field arithmetic, handled board
+// errors, secretflow's interprocedural secret-taint tracking, lockscope's
+// blocking-under-lock and lock-order analysis, goroleak's goroutine
+// termination evidence, and wirecodec's codec-quartet hygiene).
 //
 // Usage:
 //
-//	go run ./cmd/yosolint [-tests=false] [-list] [-json] [-directives] [packages]
+//	go run ./cmd/yosolint [-tests=false] [-list] [-json] [-directives] [-time] [-workers=N] [packages]
 //
-// Packages default to ./... relative to the current directory. The exit
-// status is 0 when the tree is clean, 1 when any unsuppressed diagnostic
-// (including a malformed //yosolint: directive) is reported, and 2 on
-// load or internal errors.
+// Packages default to ./... relative to the current directory. The
+// package-level passes fan out over -workers goroutines (default: one
+// per CPU) via internal/parallel; -time prints each analyzer's
+// accumulated wall time to stderr. The exit status is 0 when the tree is
+// clean, 1 when any unsuppressed diagnostic (including a malformed
+// //yosolint: directive) is reported, and 2 on load or internal errors.
 //
 // -json emits one JSON object per diagnostic per line, including
 // suppressed findings with the justification of the directive covering
@@ -28,6 +32,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"yosompc/internal/analysis"
 	"yosompc/internal/analysis/suite"
@@ -38,6 +43,8 @@ func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	jsonOut := flag.Bool("json", false, "emit one JSON diagnostic per line, including suppressed findings")
 	directives := flag.Bool("directives", false, "list the active //yosolint: suppressions and exit")
+	timing := flag.Bool("time", false, "print per-analyzer accumulated wall time to stderr")
+	workers := flag.Int("workers", 0, "package-level analysis worker count (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
 	analyzers := suite.Analyzers()
@@ -60,10 +67,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "yosolint:", err)
 		os.Exit(2)
 	}
-	diags, err := analysis.RunPackages(pkgs, analyzers)
+	diags, times, err := analysis.RunPackagesTimed(pkgs, analyzers, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "yosolint:", err)
 		os.Exit(2)
+	}
+	if *timing {
+		for _, at := range times {
+			fmt.Fprintf(os.Stderr, "yosolint: %-12s %v\n", at.Name, at.Elapsed.Round(time.Microsecond))
+		}
 	}
 	failing := analysis.Unsuppressed(diags)
 

@@ -31,15 +31,33 @@ func runYosolint(t *testing.T, args ...string) (string, int) {
 
 // TestDriverFlagsFixture is the end-to-end regression test for the whole
 // driver: yosolint run against a fixture package containing one violation
-// of each analyzer must exit non-zero and report all five.
+// of each analyzer must exit non-zero and report all eight.
 func TestDriverFlagsFixture(t *testing.T) {
 	out, code := runYosolint(t, "./cmd/yosolint/testdata/e2e/sharing")
 	if code != 1 {
 		t.Fatalf("exit code = %d, want 1 (findings)\noutput:\n%s", code, out)
 	}
-	for _, analyzer := range []string{"cryptorand", "fieldops", "roleonce", "postcheck", "secretflow"} {
+	for _, analyzer := range []string{"cryptorand", "fieldops", "goroleak", "lockscope", "roleonce", "postcheck", "secretflow", "wirecodec"} {
 		if !strings.Contains(out, "("+analyzer+")") {
 			t.Errorf("output missing a %s finding:\n%s", analyzer, out)
+		}
+	}
+}
+
+// TestDriverTiming asserts the -time flag reports wall time for every
+// analyzer in the suite, and that the serial -workers=1 path produces the
+// same findings as the parallel default.
+func TestDriverTiming(t *testing.T) {
+	out, code := runYosolint(t, "-time", "-workers=1", "./cmd/yosolint/testdata/e2e/sharing")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (findings)\noutput:\n%s", code, out)
+	}
+	for _, analyzer := range []string{"cryptorand", "fieldops", "goroleak", "lockscope", "roleonce", "postcheck", "secretflow", "wirecodec"} {
+		if !strings.Contains(out, "yosolint: "+analyzer) {
+			t.Errorf("-time output missing %s wall time:\n%s", analyzer, out)
+		}
+		if !strings.Contains(out, "("+analyzer+")") {
+			t.Errorf("serial run missing a %s finding:\n%s", analyzer, out)
 		}
 	}
 }

@@ -1,6 +1,6 @@
 // Package sharing is the end-to-end regression fixture for cmd/yosolint:
 // one compiling file violating every analyzer in the suite. The driver
-// must exit non-zero and name all five analyzers when pointed here. The
+// must exit non-zero and name all eight analyzers when pointed here. The
 // directory is named "sharing" so the cryptorand protected-segment rule
 // applies; testdata placement keeps it out of ./... wildcard runs.
 package sharing
@@ -8,6 +8,7 @@ package sharing
 import (
 	"log"
 	"math/rand"
+	"sync"
 
 	"yosompc/internal/comm"
 	"yosompc/internal/field"
@@ -41,3 +42,33 @@ func BadDroppedError(c *transport.Client) {
 func BadShareLog(sh realsharing.Share) {
 	log.Printf("dealt share %v", sh)
 }
+
+// poster pairs a mutex with a board client for the lockscope violation.
+type poster struct {
+	mu sync.Mutex
+	c  *transport.Client
+}
+
+// BadLockedPost violates lockscope: a board post under a held mutex.
+func (p *poster) BadLockedPost(payload []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, err := p.c.Post("p", comm.PhaseOnline, comm.CatInput, payload)
+	return err
+}
+
+// BadSpawn violates goroleak: a goroutine looping on a channel nobody
+// closes, with no join, context, or finite body.
+func BadSpawn(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// BadWire violates wirecodec: half a codec with no stream halves.
+type BadWire struct{}
+
+// MarshalBinary is the codec half that gates the quartet rule.
+func (BadWire) MarshalBinary() ([]byte, error) { return nil, nil }

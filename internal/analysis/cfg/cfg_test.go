@@ -219,6 +219,117 @@ func TestRangeLoop(t *testing.T) {
 	}
 }
 
+func TestDeferUnwinding(t *testing.T) {
+	// Defer statements are plain straight-line nodes: the registration is
+	// reachable where it executes, and an early return does not hide it.
+	g := buildFunc(t, `
+	defer cleanup()
+	if cond() {
+		return
+	}
+	body()`)
+	calls := reachableCalls(g)
+	for _, want := range []string{"cleanup", "cond", "body"} {
+		if !calls[want] {
+			t.Errorf("call %s not reachable", want)
+		}
+	}
+	// A defer registered after a return never runs — and never registers.
+	g = buildFunc(t, `
+	a()
+	return
+	defer dead()`)
+	if reachableCalls(g)["dead"] {
+		t.Error("defer after return reported reachable")
+	}
+}
+
+func TestSelectNoDefaultFallsThrough(t *testing.T) {
+	// A select without default parks until some case fires; the graph
+	// keeps the over-approximating head→done edge so successors stay
+	// reachable for flow-sensitive analyses.
+	g := buildFunc(t, `
+	select {
+	case <-ch:
+		recv()
+	case ch2 <- x:
+		sent()
+	}
+	after()`)
+	calls := reachableCalls(g)
+	for _, want := range []string{"recv", "sent", "after"} {
+		if !calls[want] {
+			t.Errorf("call %s not reachable", want)
+		}
+	}
+}
+
+func TestSelectClauseIsolation(t *testing.T) {
+	// Each comm clause body is its own block: one arm's effects must not
+	// leak into another arm's lockset or taint state.
+	g := buildFunc(t, `
+	select {
+	case <-ch:
+		a()
+	default:
+		b()
+	}`)
+	for _, blk := range g.Blocks {
+		text := blockCalls(blk)
+		if strings.Contains(text, "a") && strings.Contains(text, "b") {
+			t.Errorf("select arms share a block: %s", text)
+		}
+	}
+}
+
+func TestLabeledContinue(t *testing.T) {
+	g := buildFunc(t, `
+outer:
+	for i := 0; i < n; i++ {
+		for {
+			if next() {
+				continue outer
+			}
+			inner()
+		}
+	}
+	after()`)
+	calls := reachableCalls(g)
+	for _, want := range []string{"next", "inner", "after"} {
+		if !calls[want] {
+			t.Errorf("call %s not reachable", want)
+		}
+	}
+}
+
+func TestMethodValueCalls(t *testing.T) {
+	// Method calls and method-value invocations live in reachable nodes
+	// like plain calls: analyzers resolve them through go/types, so the
+	// graph only has to surface the call expressions.
+	g := buildFunc(t, `
+	obj.m()
+	f := obj.n
+	f()
+	after()`)
+	methods := map[string]bool{}
+	for _, blk := range g.Reachable() {
+		for _, n := range blk.Nodes {
+			ast.Inspect(n, func(n ast.Node) bool {
+				if sel, ok := n.(*ast.SelectorExpr); ok {
+					methods[sel.Sel.Name] = true
+				}
+				return true
+			})
+		}
+	}
+	if !methods["m"] || !methods["n"] {
+		t.Errorf("method references not in reachable nodes: %v", methods)
+	}
+	if !reachableCalls(g)["f"] || !reachableCalls(g)["after"] {
+		t.Error("method-value invocation or successor not reachable")
+	}
+}
+
 func TestNilBody(t *testing.T) {
 	g := New(nil)
 	if len(g.Blocks) != 1 || len(g.Reachable()) != 1 {

@@ -29,6 +29,9 @@ func FuzzDirectiveParse(f *testing.F) {
 		"package p\n\nvar x = 1 // yosolint:ignore space before keyword, not a directive\n",
 		"package p\n\n//yosolint:ignore first\n//yosolint:declassify second\nvar x = 1\n",
 		"package p\n\nvar x = 1 //yosolint:ignore trailing at EOF",
+		"package p\n\n//yosolint:blocking mutex serializes the single connection\nvar x = 1\n",
+		"package p\n\nvar x = 1 //yosolint:daemon debug endpoint lives for the process lifetime\n",
+		"package p\n\ntype T struct{} //yosolint:wireok local snapshot, never posted\n",
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))

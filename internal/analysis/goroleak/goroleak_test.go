@@ -1,0 +1,14 @@
+package goroleak
+
+import (
+	"testing"
+
+	"yosompc/internal/analysis/analysistest"
+)
+
+// TestFixtures runs the analyzer over the spawn fixtures: each accepted
+// class of termination evidence, the unbounded-loop-spawn rule,
+// unanalyzable spawn targets, and the //yosolint:daemon escape hatch.
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), Analyzer, "spawn")
+}

@@ -1,0 +1,119 @@
+// Package spawn exercises the goroleak analyzer: every accepted class of
+// termination evidence (WaitGroup join, context bound, closed-channel
+// signal, receive-only ownership, finite body), the unbounded-loop-spawn
+// rule, unanalyzable spawn targets, and the //yosolint:daemon escape
+// hatch.
+package spawn
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync"
+)
+
+// Joined is the canonical bounded fan-out: Add before spawn, deferred
+// Done inside, Wait after the loop.
+func Joined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// CtxBound parks until the context ends.
+func CtxBound(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// DoneChannel is the stop-function idiom: the goroutine selects on a
+// channel the returned closure closes.
+func DoneChannel() (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+// ConsumeStream ranges over a receive-only channel: the producer owns the
+// close, so the loop is bounded elsewhere.
+func ConsumeStream(entries <-chan int) {
+	go func() {
+		for range entries {
+		}
+	}()
+}
+
+// worker drains a receive-only channel; spawning it by name resolves the
+// declaration like an inline literal.
+func worker(jobs <-chan int) {
+	for range jobs {
+	}
+}
+
+// SpawnWorker spawns a named same-package function.
+func SpawnWorker(jobs <-chan int) {
+	go worker(jobs)
+}
+
+// FireAndForget has a finite body: no loops, so it runs to completion.
+func FireAndForget(result chan<- int) {
+	go func() { result <- 42 }()
+}
+
+// LeakForever loops on a channel nobody closes: no evidence at all.
+func LeakForever() {
+	ch := make(chan int)
+	go func() { // want `goroutine has no provable termination path \(no WaitGroup join`
+		for v := range ch {
+			_ = v
+		}
+	}()
+	ch <- 1
+}
+
+// SpawnStorm is context-bounded in lifetime but unbounded in count: each
+// iteration leaks a parked goroutine until the context ends.
+func SpawnStorm(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		go func() { // want `unbounded goroutine spawn in a loop without a WaitGroup join`
+			<-ctx.Done()
+		}()
+	}
+}
+
+// External spawns a function value: nothing to analyze.
+func External(f func()) {
+	go f() // want `goroutine has no provable termination path \(cannot analyze callee f\)`
+}
+
+// DebugServe never returns: http.Serve voids the finite-body evidence.
+func DebugServe(srv *http.Server, ln net.Listener) {
+	go func() { _ = srv.Serve(ln) }() // want `goroutine has no provable termination path`
+}
+
+// Daemon is DebugServe with the process-lifetime intent recorded; the
+// mandatory justification keeps the finding suppressed but auditable.
+func Daemon(ln net.Listener) {
+	go func() { _ = http.Serve(ln, nil) }() //yosolint:daemon debug endpoint lives for the process lifetime
+}
+
+// BlockForever is `select {}`: deliberately parked forever, which is not
+// a finite body.
+func BlockForever() {
+	go func() { // want `goroutine has no provable termination path`
+		select {}
+	}()
+}

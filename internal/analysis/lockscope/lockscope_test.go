@@ -1,0 +1,15 @@
+package lockscope
+
+import (
+	"testing"
+
+	"yosompc/internal/analysis/analysistest"
+)
+
+// TestFixtures runs the analyzer over the lockset fixtures: blocking
+// operations under a held mutex (channel ops, waits, transitive callees,
+// board posts), must-hold precision, self-deadlocks, lock-order
+// inversions, and the //yosolint:blocking escape hatch.
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), Analyzer, "locks", "transport")
+}

@@ -1,0 +1,150 @@
+// Package locks exercises the lockscope analyzer's core rules: blocking
+// operations under a held mutex (channel ops, sync waits, transitive
+// callees), must-hold precision (unlock-first and select-with-default stay
+// clean), self-deadlocks, lock-order inversions, and the
+// //yosolint:blocking escape hatch.
+package locks
+
+import "sync"
+
+// Guard owns a mutex and a channel.
+type Guard struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	ch  chan int
+	out chan int
+}
+
+// SendUnderLock blocks on a channel send while holding the guard.
+func (g *Guard) SendUnderLock() {
+	g.mu.Lock()
+	g.ch <- 1 // want `channel send while holding locks.Guard.mu`
+	g.mu.Unlock()
+}
+
+// ReceiveUnderRLock blocks on a receive while read-locked.
+func (g *Guard) ReceiveUnderRLock() int {
+	g.rw.RLock()
+	v := <-g.ch // want `channel receive while holding locks.Guard.rw`
+	g.rw.RUnlock()
+	return v
+}
+
+// WaitWithDeferredUnlock: the deferred unlock keeps the lock held for the
+// whole body, so the wait happens under it.
+func (g *Guard) WaitWithDeferredUnlock(wg *sync.WaitGroup) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	wg.Wait() // want `blocking wait \(sync.WaitGroup.Wait\) while holding locks.Guard.mu`
+}
+
+// NonBlockingSelect never blocks: the select has a default clause.
+func (g *Guard) NonBlockingSelect() {
+	g.mu.Lock()
+	select {
+	case g.ch <- 1:
+	case v := <-g.out:
+		_ = v
+	default:
+	}
+	g.mu.Unlock()
+}
+
+// BlockingSelect has no default: each clause can block the goroutine.
+func (g *Guard) BlockingSelect() {
+	g.mu.Lock()
+	select {
+	case g.ch <- 1: // want `channel send while holding locks.Guard.mu`
+	}
+	g.mu.Unlock()
+}
+
+// UnlockFirst releases before waiting — must-hold tracking keeps it clean.
+func (g *Guard) UnlockFirst(wg *sync.WaitGroup) {
+	g.mu.Lock()
+	g.mu.Unlock()
+	wg.Wait()
+}
+
+// RangeUnderLock drains a channel while holding the guard.
+func (g *Guard) RangeUnderLock() {
+	g.mu.Lock()
+	for v := range g.ch { // want `channel receive \(range\) while holding locks.Guard.mu`
+		_ = v
+	}
+	g.mu.Unlock()
+}
+
+// helperWaits is a blocking helper; calling it under a lock must be
+// reported at the call site, interprocedurally.
+func (g *Guard) helperWaits(wg *sync.WaitGroup) {
+	wg.Wait()
+}
+
+// CallsHelper holds the guard across a callee that blocks.
+func (g *Guard) CallsHelper(wg *sync.WaitGroup) {
+	g.mu.Lock()
+	g.helperWaits(wg) // want `call to locks.Guard.helperWaits may block \(blocking wait \(sync.WaitGroup.Wait\)\) while holding locks.Guard.mu`
+	g.mu.Unlock()
+}
+
+// DoubleAcquire locks the same mutex twice: guaranteed self-deadlock.
+func (g *Guard) DoubleAcquire() {
+	g.mu.Lock()
+	g.mu.Lock() // want `acquires locks.Guard.mu while already holding it`
+	g.mu.Unlock()
+	g.mu.Unlock()
+}
+
+// relock acquires the guard; calling it with the guard held deadlocks.
+func (g *Guard) relock() {
+	g.mu.Lock()
+	g.mu.Unlock()
+}
+
+// CallsRelock deadlocks through the callee.
+func (g *Guard) CallsRelock() {
+	g.mu.Lock()
+	g.relock() // want `call to locks.Guard.relock acquires locks.Guard.mu, which is already held`
+	g.mu.Unlock()
+}
+
+// AB holds two mutexes that two methods acquire in opposite orders.
+type AB struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// ForwardOrder takes a then b.
+func (x *AB) ForwardOrder() {
+	x.a.Lock()
+	x.b.Lock() // want `acquires locks.AB.b while holding locks.AB.a, but .* acquires them in the opposite order`
+	x.b.Unlock()
+	x.a.Unlock()
+}
+
+// ReverseOrder takes b then a.
+func (x *AB) ReverseOrder() {
+	x.b.Lock()
+	x.a.Lock() // want `acquires locks.AB.a while holding locks.AB.b, but .* acquires them in the opposite order`
+	x.a.Unlock()
+	x.b.Unlock()
+}
+
+// Justified serializes waits under the guard by design; the mandatory
+// justification keeps the finding suppressed but auditable.
+func (g *Guard) Justified(wg *sync.WaitGroup) {
+	g.mu.Lock()
+	wg.Wait() //yosolint:blocking the guard exists to serialize waits on one connection
+	g.mu.Unlock()
+}
+
+// SpawnDoesNotBlock: the goroutine body runs with its own empty lockset,
+// and the spawn itself never blocks the holder.
+func (g *Guard) SpawnDoesNotBlock() {
+	g.mu.Lock()
+	go func() {
+		g.ch <- 1
+	}()
+	g.mu.Unlock()
+}

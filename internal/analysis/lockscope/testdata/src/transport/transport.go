@@ -1,0 +1,37 @@
+// Package transport exercises the board-post rule: the fixture directory
+// puts it in a "transport" path segment, so its Post method matches the
+// suite's board classifier and posting under a lock is reported.
+package transport
+
+import "sync"
+
+// Board is a minimal bulletin board.
+type Board struct{ entries []int }
+
+// Post publishes x for every party to read.
+func (b *Board) Post(x int) { b.entries = append(b.entries, x) }
+
+// Mirror forwards postings while holding its own state lock — the exact
+// shape lockscope exists to catch: board I/O under a mutex.
+type Mirror struct {
+	mu    sync.Mutex
+	board *Board
+	seen  int
+}
+
+// Forward posts under the mirror lock.
+func (m *Mirror) Forward(x int) {
+	m.mu.Lock()
+	m.seen++
+	m.board.Post(x) // want `board post \(transport.Board.Post\) while holding transport.Mirror.mu`
+	m.mu.Unlock()
+}
+
+// ForwardUnlocked snapshots under the lock and posts outside it — the
+// clean restructuring the analyzer pushes toward.
+func (m *Mirror) ForwardUnlocked(x int) {
+	m.mu.Lock()
+	m.seen++
+	m.mu.Unlock()
+	m.board.Post(x)
+}

@@ -7,9 +7,12 @@ import (
 	"yosompc/internal/analysis"
 	"yosompc/internal/analysis/cryptorand"
 	"yosompc/internal/analysis/fieldops"
+	"yosompc/internal/analysis/goroleak"
+	"yosompc/internal/analysis/lockscope"
 	"yosompc/internal/analysis/postcheck"
 	"yosompc/internal/analysis/roleonce"
 	"yosompc/internal/analysis/secretflow"
+	"yosompc/internal/analysis/wirecodec"
 )
 
 // Analyzers returns the yosolint suite in stable order.
@@ -17,8 +20,11 @@ func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		cryptorand.Analyzer,
 		fieldops.Analyzer,
+		goroleak.Analyzer,
+		lockscope.Analyzer,
 		postcheck.Analyzer,
 		roleonce.Analyzer,
 		secretflow.Analyzer,
+		wirecodec.Analyzer,
 	}
 }

@@ -1,0 +1,36 @@
+// Package board exercises the codec-less payload rule: board publication
+// calls fed []byte(string) conversions or fmt.Append* results are flagged;
+// metadata strings and pre-encoded bytes are not.
+package board
+
+import "fmt"
+
+// Board stands in for the bulletin-board client.
+type Board struct{}
+
+// Post mirrors the transport client's shape: string metadata plus wire
+// bytes.
+func (b *Board) Post(from, cat string, wire []byte) error { return nil }
+
+// PublishText smuggles formatted text into the wire-bytes slot. The
+// formatted category string is metadata and stays legal.
+func PublishText(b *Board, n int) {
+	_ = b.Post("p1", fmt.Sprintf("round-%d", n), []byte(fmt.Sprintf("count=%d", n))) // want `codec-less board payload`
+}
+
+// PublishAppend builds the payload with fmt.Appendf: same defect, no
+// intermediate string conversion.
+func PublishAppend(b *Board, n int) {
+	_ = b.Post("p1", "sizes", fmt.Appendf(nil, "n=%d", n)) // want `codec-less board payload fmt.Appendf`
+}
+
+// PublishBytes posts pre-encoded bytes: clean.
+func PublishBytes(b *Board, enc []byte) {
+	_ = b.Post("p1", "shares", enc)
+}
+
+// PublishJustified posts a constant control frame with the intent
+// recorded.
+func PublishJustified(b *Board) {
+	_ = b.Post("p1", "ping", []byte("ping")) //yosolint:wireok constant liveness frame, receiver never decodes it
+}

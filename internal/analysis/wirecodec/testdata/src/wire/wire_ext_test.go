@@ -1,0 +1,23 @@
+package wire_test
+
+import (
+	"testing"
+
+	wire "yosompc/internal/analysis/wirecodec/testdata/src/wire"
+)
+
+// FuzzExternRoundTrip covers Extern from the external test package.
+func FuzzExternRoundTrip(f *testing.F) {
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var e wire.Extern
+		_ = e.UnmarshalBinary(data)
+	})
+}
+
+// TestExternSize pins Extern's size model from the external test package.
+func TestExternSize(t *testing.T) {
+	var e wire.Extern
+	if e.EncodedSize() != 0 {
+		t.Fatalf("Extern.EncodedSize = %d, want 0", e.EncodedSize())
+	}
+}

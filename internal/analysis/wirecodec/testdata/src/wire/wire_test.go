@@ -1,0 +1,40 @@
+package wire
+
+import "testing"
+
+// FuzzGoodRoundTrip gives Good its decoder coverage.
+func FuzzGoodRoundTrip(f *testing.F) {
+	f.Add([]byte{1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		var g Good
+		if err := g.UnmarshalBinary(data[:1]); err != nil {
+			return
+		}
+		if _, err := g.MarshalBinary(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzUnpinnedDecode covers Unpinned's decoder but never pins its size.
+func FuzzUnpinnedDecode(f *testing.F) {
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var u Unpinned
+		_ = u.UnmarshalBinary(data)
+	})
+}
+
+// TestSizes pins Good and Unfuzzed (but not Unpinned).
+func TestSizes(t *testing.T) {
+	var g Good
+	if g.EncodedSize() != 1 {
+		t.Fatalf("Good.EncodedSize = %d, want 1", g.EncodedSize())
+	}
+	var u Unfuzzed
+	if u.EncodedSize() != 0 {
+		t.Fatalf("Unfuzzed.EncodedSize = %d, want 0", u.EncodedSize())
+	}
+}

@@ -1,0 +1,300 @@
+// Package wirecodec is the wire-hygiene analyzer of the yosolint suite.
+// Every type that crosses the bulletin board travels as bytes; the repo's
+// discipline (docs/WIRE.md, after lattigo's uniform BinaryMarshaler
+// convention) is that such a type implements the full codec quartet —
+// MarshalBinary, UnmarshalBinary, WriteTo, ReadFrom — plus an explicit
+// EncodedSize model, and that its decoders are exercised by a fuzz target
+// and its size model pinned by a test. This analyzer enforces all of it
+// mechanically:
+//
+//   - a named type declaring MarshalBinary or UnmarshalBinary must
+//     declare the whole quartet (the streaming halves are what the remote
+//     transport actually calls);
+//   - a quartet type must declare EncodedSize() int — the byte-accounting
+//     contract the server-verified wire experiment audits;
+//   - a quartet type must be referenced from some Fuzz* target in its
+//     package's tests (in-package or external), so hostile bytes reach
+//     its decoders; and
+//   - a quartet type's EncodedSize must be called somewhere in those
+//     tests, pinning the size model against silent format drift.
+//
+// Independently, board publication calls (Post/Publish/Broadcast in the
+// board-facing packages) must not be fed text dressed up as wire bytes: a
+// []byte(string) conversion or fmt.Append* result as an argument is a
+// codec-less payload and is reported at the call.
+//
+// Core's in-process payloads go through the sized/encodeWire interface,
+// whose length cross-check runs at runtime in encodePost — they never
+// implement the quartet and are out of scope here. A type that is wire-
+// adjacent but deliberately outside the discipline is acknowledged with
+// `//yosolint:wireok <why>` on its declaration (or the offending call);
+// the justification is mandatory and audited via cmd/yosolint -json.
+package wirecodec
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"yosompc/internal/analysis"
+	"yosompc/internal/analysis/taint"
+)
+
+// Analyzer is the wirecodec analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:       "wirecodec",
+	Doc:        "require the full MarshalBinary/UnmarshalBinary/WriteTo/ReadFrom quartet, a fuzz target, and a size-model test for every board-crossing type",
+	Directives: []string{"wireok", "ignore"},
+	RunModule:  run,
+}
+
+// quartet is the canonical method set, in report order.
+var quartet = []string{"MarshalBinary", "UnmarshalBinary", "WriteTo", "ReadFrom"}
+
+func run(mp *analysis.ModulePass) error {
+	// Pass 1: collect test-side facts across the whole load. Test files
+	// appear both merged into their package (in-package _test.go) and as
+	// separate external test packages (path suffixed "_test"); the
+	// filename suffix identifies them uniformly.
+	fuzzRefs := map[string]bool{} // TypeKey -> referenced from a Fuzz* target
+	sizePins := map[string]bool{} // TypeKey -> EncodedSize called in a test
+	for _, pkg := range mp.Packages {
+		collectTestFacts(pkg, fuzzRefs, sizePins)
+	}
+	// Pass 2: check wire types and board payloads of the target packages.
+	for _, pkg := range mp.Packages {
+		if pkg.DepOnly || strings.HasSuffix(pkg.Path, "_test") {
+			continue
+		}
+		checkWireTypes(mp, pkg, fuzzRefs, sizePins)
+		checkPayloads(mp, pkg)
+	}
+	return nil
+}
+
+// collectTestFacts scans a package's test files for fuzz-target type
+// references and EncodedSize call sites.
+func collectTestFacts(pkg *analysis.Package, fuzzRefs, sizePins map[string]bool) {
+	if pkg.Info == nil {
+		return
+	}
+	for _, f := range pkg.Files {
+		if !strings.HasSuffix(pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			isFuzz := strings.HasPrefix(fd.Name.Name, "Fuzz")
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.Ident:
+					if !isFuzz {
+						return true
+					}
+					if tn, ok := pkg.Info.Uses[x].(*types.TypeName); ok {
+						if key := taint.TypeKey(tn); key != "" {
+							fuzzRefs[key] = true
+						}
+					}
+				case *ast.CallExpr:
+					sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+					if !ok || sel.Sel.Name != "EncodedSize" {
+						return true
+					}
+					if tv, ok := pkg.Info.Types[sel.X]; ok && tv.Type != nil {
+						if key := namedKey(tv.Type); key != "" {
+							sizePins[key] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkWireTypes applies the quartet/fuzz/size rules to every named type
+// the package declares in non-test files.
+func checkWireTypes(mp *analysis.ModulePass, pkg *analysis.Package, fuzzRefs, sizePins map[string]bool) {
+	for _, f := range pkg.Files {
+		if strings.HasSuffix(pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				named, ok := tn.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				checkType(mp, pkg, ts, named, fuzzRefs, sizePins)
+			}
+		}
+	}
+}
+
+func checkType(mp *analysis.ModulePass, pkg *analysis.Package, ts *ast.TypeSpec, named *types.Named, fuzzRefs, sizePins map[string]bool) {
+	have := map[string]bool{}
+	hasSize := false
+	for i := 0; i < named.NumMethods(); i++ {
+		switch name := named.Method(i).Name(); name {
+		case "MarshalBinary", "UnmarshalBinary", "WriteTo", "ReadFrom":
+			have[name] = true
+		case "EncodedSize":
+			hasSize = true
+		}
+	}
+	// The gate is the binary-codec pair: a type with only WriteTo (a
+	// telemetry exporter, a report renderer) is not board-bound.
+	if !have["MarshalBinary"] && !have["UnmarshalBinary"] {
+		return
+	}
+	if len(have) < len(quartet) {
+		var missing []string
+		for _, m := range quartet {
+			if !have[m] {
+				missing = append(missing, m)
+			}
+		}
+		sort.Strings(missing)
+		mp.Reportf(ts.Pos(), "wire type %s implements %s but not %s; board-crossing types implement the full MarshalBinary/UnmarshalBinary/WriteTo/ReadFrom quartet",
+			named.Obj().Name(), joinHave(have), strings.Join(missing, ", "))
+		return
+	}
+	key := taint.TypeKey(named.Obj())
+	if !hasSize {
+		mp.Reportf(ts.Pos(), "wire type %s has no EncodedSize method; the wire-size model must be explicit for byte accounting", named.Obj().Name())
+	}
+	if !fuzzRefs[key] {
+		mp.Reportf(ts.Pos(), "wire type %s has no Fuzz target exercising its codec; hostile bytes must reach UnmarshalBinary/ReadFrom", named.Obj().Name())
+	}
+	if hasSize && !sizePins[key] {
+		mp.Reportf(ts.Pos(), "wire type %s: EncodedSize is not pinned by any test; the size model can drift silently", named.Obj().Name())
+	}
+}
+
+func joinHave(have map[string]bool) string {
+	var out []string
+	for _, m := range quartet {
+		if have[m] {
+			out = append(out, m)
+		}
+	}
+	return strings.Join(out, ", ")
+}
+
+// checkPayloads flags codec-less payload expressions at board publication
+// calls in non-test files.
+func checkPayloads(mp *analysis.ModulePass, pkg *analysis.Package) {
+	boardNames := map[string]bool{"Post": true, "Publish": true, "Broadcast": true}
+	for _, f := range pkg.Files {
+		if strings.HasSuffix(pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := callee(pkg, call)
+			if fn == nil || fn.Pkg() == nil || !boardNames[fn.Name()] || !boardPkg(fn.Pkg().Path()) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if reason := codecless(pkg, arg); reason != "" {
+					mp.Reportf(arg.Pos(), "codec-less board payload %s: wire bytes come from a codec (MarshalBinary/encodeWire), not from text", reason)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// codecless reports why an argument is text dressed up as wire bytes:
+// a []byte(string) conversion or a fmt.Append* result.
+func codecless(pkg *analysis.Package, arg ast.Expr) string {
+	call, ok := ast.Unparen(arg).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		if !isByteSlice(tv.Type) || len(call.Args) != 1 {
+			return ""
+		}
+		if at, ok := pkg.Info.Types[call.Args[0]]; ok && at.Type != nil {
+			if b, ok := at.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				return "[]byte(" + types.ExprString(call.Args[0]) + ")"
+			}
+		}
+		return ""
+	}
+	if fn := callee(pkg, call); fn != nil && fn.Pkg() != nil &&
+		fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Append") {
+		return "fmt." + fn.Name() + "(…)"
+	}
+	return ""
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// namedKey renders the named type behind t (through pointers) as a
+// TypeKey, "" when t is not named.
+func namedKey(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return taint.TypeKey(n.Obj())
+	}
+	return ""
+}
+
+func boardPkg(path string) bool {
+	return taint.PathHasSegment(path, "transport") ||
+		taint.PathHasSegment(path, "comm") ||
+		taint.PathHasSegment(path, "yoso") ||
+		taint.PathHasSegment(path, "board")
+}
+
+// callee resolves the static callee of a call, if any.
+func callee(pkg *analysis.Package, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[f].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[f]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		if fn, ok := pkg.Info.Uses[f.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

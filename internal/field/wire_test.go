@@ -1,0 +1,66 @@
+package field
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestVecEncodedSize pins the Vec size model: a 4-byte count plus 8
+// canonical bytes per element, and agreement with the actual encoding.
+func TestVecEncodedSize(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64} {
+		v := make(Vec, n)
+		for i := range v {
+			v[i] = New(uint64(i) * 1048573)
+		}
+		want := 4 + n*ElementSize
+		if got := v.EncodedSize(); got != want {
+			t.Fatalf("Vec(%d).EncodedSize = %d, want %d", n, got, want)
+		}
+		enc, err := v.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(enc) != v.EncodedSize() {
+			t.Fatalf("Vec(%d) encoded to %d bytes, EncodedSize says %d", n, len(enc), v.EncodedSize())
+		}
+	}
+}
+
+// FuzzVecRoundTrip feeds arbitrary bytes through the Vec decoders: any
+// accepted input must re-encode to the identical bytes through both the
+// buffer and stream codecs, and the size model must match.
+func FuzzVecRoundTrip(f *testing.F) {
+	if enc, err := (Vec{New(1), New(2), New(3)}).MarshalBinary(); err == nil {
+		f.Add(enc)
+	}
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var v Vec
+		if err := v.UnmarshalBinary(data); err != nil {
+			return
+		}
+		enc, err := v.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encoding accepted input: %v", err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("round trip changed bytes: %x -> %x", data, enc)
+		}
+		if len(enc) != v.EncodedSize() {
+			t.Fatalf("encoded %d bytes, EncodedSize says %d", len(enc), v.EncodedSize())
+		}
+		var sv Vec
+		if _, err := sv.ReadFrom(bytes.NewReader(data)); err != nil {
+			t.Fatalf("stream decoder rejected bytes the buffer decoder accepted: %v", err)
+		}
+		var out bytes.Buffer
+		if _, err := sv.WriteTo(&out); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("stream round trip changed bytes: %x -> %x", data, out.Bytes())
+		}
+	})
+}

@@ -29,10 +29,16 @@ var (
 
 func (sk *PrivateKey) crt() (*crtState, error) {
 	crtMu.Lock()
-	defer crtMu.Unlock()
 	if st, ok := crtCache[sk]; ok {
+		crtMu.Unlock()
 		return st, nil
 	}
+	crtMu.Unlock()
+
+	// Precompute outside the lock: the two exponentiations cost real time
+	// at production moduli, and holding crtMu across them would stall
+	// decryptors of unrelated keys. Concurrent first callers may duplicate
+	// the work; the re-check below keeps one winner.
 	one := big.NewInt(1)
 	st := &crtState{
 		p2:  new(big.Int).Mul(sk.P, sk.P),
@@ -52,6 +58,12 @@ func (sk *PrivateKey) crt() (*crtState, error) {
 	st.qInvP = new(big.Int).ModInverse(sk.Q, sk.P)
 	if st.hp == nil || st.hq == nil || st.qInvP == nil {
 		return nil, fmt.Errorf("paillier: CRT precomputation failed")
+	}
+
+	crtMu.Lock()
+	defer crtMu.Unlock()
+	if prev, ok := crtCache[sk]; ok {
+		return prev, nil
 	}
 	crtCache[sk] = st
 	return st, nil

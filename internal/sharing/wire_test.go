@@ -1,0 +1,70 @@
+package sharing
+
+import (
+	"bytes"
+	"testing"
+
+	"yosompc/internal/field"
+)
+
+// TestShareVecEncodedSize pins the ShareVec size model: a 4-byte count
+// plus 12 bytes per share, and agreement with the actual encoding.
+func TestShareVecEncodedSize(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 33} {
+		v := make(ShareVec, n)
+		for i := range v {
+			v[i] = Share{Index: i + 1, Value: field.New(uint64(i) * 7919)}
+		}
+		want := 4 + n*ShareEncodedSize
+		if got := v.EncodedSize(); got != want {
+			t.Fatalf("ShareVec(%d).EncodedSize = %d, want %d", n, got, want)
+		}
+		enc, err := v.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(enc) != v.EncodedSize() {
+			t.Fatalf("ShareVec(%d) encoded to %d bytes, EncodedSize says %d", n, len(enc), v.EncodedSize())
+		}
+	}
+}
+
+// FuzzShareVecRoundTrip feeds arbitrary bytes through the ShareVec
+// decoders: any accepted input must re-encode identically through both
+// the buffer and stream codecs, and the size model must match.
+func FuzzShareVecRoundTrip(f *testing.F) {
+	if enc, err := (ShareVec{{Index: 1, Value: field.New(42)}}).MarshalBinary(); err == nil {
+		f.Add(enc)
+	}
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0, 0, 0, 2, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var v ShareVec
+		//yosolint:declassify fuzz corpus bytes are attacker-supplied inputs, not secret shares
+		if err := v.UnmarshalBinary(data); err != nil {
+			return
+		}
+		enc, err := v.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encoding accepted input: %v", err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("round trip changed bytes: %x -> %x", data, enc)
+		}
+		if len(enc) != v.EncodedSize() {
+			t.Fatalf("encoded %d bytes, EncodedSize says %d", len(enc), v.EncodedSize())
+		}
+		var sv ShareVec
+		//yosolint:declassify same fuzz corpus bytes through the stream decoder
+		if _, err := sv.ReadFrom(bytes.NewReader(data)); err != nil {
+			t.Fatalf("stream decoder rejected bytes the buffer decoder accepted: %v", err)
+		}
+		var out bytes.Buffer
+		if _, err := sv.WriteTo(&out); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("stream round trip changed bytes: %x -> %x", data, out.Bytes())
+		}
+	})
+}

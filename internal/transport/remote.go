@@ -474,12 +474,15 @@ func (c *Client) Post(from string, phase comm.Phase, cat comm.Category, payload 
 	buf = wire.AppendString8(buf, string(cat))
 	buf = wire.AppendUint32(buf, uint32(len(payload)))
 	buf = wire.AppendBytes32(buf, payload)
+	//yosolint:blocking c.mu serializes the request/response pair on the single connection; blocking under it is the framing protocol
 	if _, err := c.bw.Write(buf); err != nil {
 		return 0, fmt.Errorf("transport: posting: %w", err)
 	}
+	//yosolint:blocking same request/response critical section as the write above
 	if err := c.bw.Flush(); err != nil {
 		return 0, fmt.Errorf("transport: posting: %w", err)
 	}
+	//yosolint:blocking the response read must stay inside the critical section or replies interleave across posters
 	return c.readPostResponse()
 }
 

@@ -105,15 +105,19 @@ func (r *Role) SecretKey() pke.SecretKey {
 // message), but any Post after Spoke is a protocol violation.
 func (r *Role) Post(phase comm.Phase, cat comm.Category, wire []byte, payload any) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.spoke {
+		r.mu.Unlock()
 		panic(fmt.Errorf("%w: %s posting in phase %s", ErrAlreadySpoke, r.Name(), phase))
 	}
 	if r.Behavior == FailStop {
 		// A crashed role's messages never reach the board.
+		r.mu.Unlock()
 		return
 	}
 	r.posted = true
+	// The speak-once decision is now recorded; release the lock before
+	// the board call, which may block on a remote transport.
+	r.mu.Unlock()
 	r.board.Post(r.Name(), phase, cat, wire, payload)
 }
 
