@@ -8,7 +8,8 @@
 //
 // Usage:
 //
-//	go run ./cmd/yosolint [-tests=false] [-list] [-json] [-directives] [-time] [-workers=N] [packages]
+//	go run ./cmd/yosolint [-tests=false] [-list] [-json] [-directives] [-time] [-workers=N]
+//	                      [-sarif=FILE] [-baseline=FILE] [-baseline-record] [packages]
 //
 // Packages default to ./... relative to the current directory. The
 // package-level passes fan out over -workers goroutines (default: one
@@ -21,8 +22,14 @@
 // suppressed findings with the justification of the directive covering
 // them, for CI artifact upload and audit. -directives lists the active
 // suppressions — every finding currently silenced by a //yosolint:
-// directive — and exits 0. See docs/STATIC_ANALYSIS.md for the analyzer
-// catalogue and the directive syntax.
+// directive — and exits 0.
+//
+// -sarif writes a SARIF 2.1.0 log for GitHub code scanning (suppressed
+// findings carry inSource suppressions). -baseline compares the
+// unsuppressed findings against a recorded baseline and fails only on
+// new ones; -baseline -baseline-record (re)writes the baseline from the
+// current findings and exits 0. See docs/STATIC_ANALYSIS.md for the
+// analyzer catalogue and the directive syntax.
 package main
 
 import (
@@ -45,6 +52,9 @@ func main() {
 	directives := flag.Bool("directives", false, "list the active //yosolint: suppressions and exit")
 	timing := flag.Bool("time", false, "print per-analyzer accumulated wall time to stderr")
 	workers := flag.Int("workers", 0, "package-level analysis worker count (0 = one per CPU, 1 = serial)")
+	sarifOut := flag.String("sarif", "", "write a SARIF 2.1.0 log to this file (for GitHub code scanning)")
+	baselinePath := flag.String("baseline", "", "compare unsuppressed findings against this baseline file; fail only on new ones")
+	baselineRecord := flag.Bool("baseline-record", false, "with -baseline: (re)write the baseline from the current findings and exit 0")
 	flag.Parse()
 
 	analyzers := suite.Analyzers()
@@ -78,6 +88,47 @@ func main() {
 		}
 	}
 	failing := analysis.Unsuppressed(diags)
+
+	if *sarifOut != "" {
+		if err := writeSARIF(*sarifOut, diags, analyzers); err != nil {
+			fmt.Fprintln(os.Stderr, "yosolint:", err)
+			os.Exit(2)
+		}
+	}
+
+	if *baselinePath != "" {
+		cwd, _ := os.Getwd()
+		if *baselineRecord {
+			f, err := os.Create(*baselinePath)
+			if err == nil {
+				err = analysis.WriteBaseline(f, failing, cwd)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "yosolint:", err)
+				os.Exit(2)
+			}
+			fmt.Fprintf(os.Stderr, "yosolint: recorded %d finding(s) to %s\n", len(failing), *baselinePath)
+			return
+		}
+		f, err := os.Open(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "yosolint:", err)
+			os.Exit(2)
+		}
+		base, err := analysis.ReadBaseline(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "yosolint:", err)
+			os.Exit(2)
+		}
+		if stale := base.Stale(failing, cwd); len(stale) > 0 {
+			fmt.Fprintf(os.Stderr, "yosolint: %d baselined finding(s) no longer occur; re-record to shrink the baseline\n", len(stale))
+		}
+		failing = base.Filter(failing, cwd)
+	}
 
 	switch {
 	case *directives:
@@ -130,6 +181,22 @@ type jsonDiagnostic struct {
 	Message       string `json:"message"`
 	Suppressed    bool   `json:"suppressed"`
 	Justification string `json:"justification,omitempty"`
+}
+
+// writeSARIF serializes the full diagnostic set (suppressed findings
+// included, carrying their suppressions) and re-validates the bytes
+// before they land on disk, so a malformed log fails the run rather than
+// the code-scanning upload.
+func writeSARIF(path string, diags []analysis.Diagnostic, analyzers []*analysis.Analyzer) error {
+	cwd, _ := os.Getwd()
+	data, err := json.MarshalIndent(analysis.NewSARIF(diags, analyzers, cwd), "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := analysis.ValidateSARIF(data); err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // relPath renders a filename relative to the working directory when it

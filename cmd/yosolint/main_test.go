@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"yosompc/internal/analysis"
 )
 
 // runYosolint runs the driver from the module root and returns combined
@@ -29,15 +31,22 @@ func runYosolint(t *testing.T, args ...string) (string, int) {
 	return "", -1
 }
 
+// suiteNames is the full analyzer roster the driver must run; the e2e
+// fixture violates every one of them.
+var suiteNames = []string{
+	"cryptorand", "fieldops", "goroleak", "lockscope", "postcheck",
+	"roleonce", "secretflow", "sidechannel", "wirecodec", "zeroize",
+}
+
 // TestDriverFlagsFixture is the end-to-end regression test for the whole
 // driver: yosolint run against a fixture package containing one violation
-// of each analyzer must exit non-zero and report all eight.
+// of each analyzer must exit non-zero and report all ten.
 func TestDriverFlagsFixture(t *testing.T) {
 	out, code := runYosolint(t, "./cmd/yosolint/testdata/e2e/sharing")
 	if code != 1 {
 		t.Fatalf("exit code = %d, want 1 (findings)\noutput:\n%s", code, out)
 	}
-	for _, analyzer := range []string{"cryptorand", "fieldops", "goroleak", "lockscope", "roleonce", "postcheck", "secretflow", "wirecodec"} {
+	for _, analyzer := range suiteNames {
 		if !strings.Contains(out, "("+analyzer+")") {
 			t.Errorf("output missing a %s finding:\n%s", analyzer, out)
 		}
@@ -52,7 +61,7 @@ func TestDriverTiming(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("exit code = %d, want 1 (findings)\noutput:\n%s", code, out)
 	}
-	for _, analyzer := range []string{"cryptorand", "fieldops", "goroleak", "lockscope", "roleonce", "postcheck", "secretflow", "wirecodec"} {
+	for _, analyzer := range suiteNames {
 		if !strings.Contains(out, "yosolint: "+analyzer) {
 			t.Errorf("-time output missing %s wall time:\n%s", analyzer, out)
 		}
@@ -130,6 +139,143 @@ func TestDriverDeclassified(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("-json output contains no suppressed secretflow record:\n%s", out)
+	}
+}
+
+// TestDriverSARIF asserts the -sarif flag end to end: the written log
+// passes the structural SARIF 2.1.0 validator, names every analyzer as a
+// rule, locates the fixture's findings, and carries suppressed findings
+// as inSource suppressions.
+func TestDriverSARIF(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "findings.sarif")
+	out, code := runYosolint(t, "-sarif="+path, "./cmd/yosolint/testdata/e2e/sharing")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (findings)\noutput:\n%s", code, out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("-sarif wrote no log: %v", err)
+	}
+	if err := analysis.ValidateSARIF(data); err != nil {
+		t.Fatalf("emitted SARIF log fails 2.1.0 validation: %v\nlog:\n%s", err, data)
+	}
+	var log analysis.SARIFLog
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("decoding SARIF log: %v", err)
+	}
+	if log.Version != analysis.SARIFVersion {
+		t.Errorf("version = %q, want %q", log.Version, analysis.SARIFVersion)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "yosolint" {
+		t.Errorf("driver name = %q, want yosolint", run.Tool.Driver.Name)
+	}
+	rules := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		rules[r.ID] = true
+	}
+	for _, analyzer := range suiteNames {
+		if !rules[analyzer] {
+			t.Errorf("rules missing analyzer %s", analyzer)
+		}
+	}
+	if len(run.Results) == 0 {
+		t.Fatal("SARIF log carries no results for the violating fixture")
+	}
+	for _, res := range run.Results {
+		if len(res.Locations) == 0 {
+			t.Errorf("result %q has no location", res.Message.Text)
+			continue
+		}
+		uri := res.Locations[0].PhysicalLocation.ArtifactLocation.URI
+		if !strings.Contains(uri, "testdata/e2e/sharing/bad.go") {
+			t.Errorf("result located at %q, want the fixture file", uri)
+		}
+		if res.PartialFingerprints["yosolintFingerprint/v1"] == "" {
+			t.Errorf("result %q missing a partial fingerprint", res.Message.Text)
+		}
+	}
+
+	// The declassified fixture exercises the suppression leg: its one
+	// finding must appear with an inSource suppression, and the run must
+	// stay clean (exit 0).
+	out, code = runYosolint(t, "-sarif="+path, "./cmd/yosolint/testdata/e2e/declassified")
+	if code != 0 {
+		t.Fatalf("declassified -sarif exit code = %d, want 0\noutput:\n%s", code, out)
+	}
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading declassified SARIF log: %v", err)
+	}
+	if err := analysis.ValidateSARIF(data); err != nil {
+		t.Fatalf("declassified SARIF log fails validation: %v", err)
+	}
+	log = analysis.SARIFLog{}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("decoding declassified SARIF log: %v", err)
+	}
+	var suppressed bool
+	for _, res := range log.Runs[0].Results {
+		for _, sup := range res.Suppressions {
+			if sup.Kind == "inSource" && sup.Justification != "" {
+				suppressed = true
+			}
+		}
+	}
+	if !suppressed {
+		t.Errorf("declassified SARIF log carries no inSource suppression with a justification:\n%s", data)
+	}
+}
+
+// TestDriverBaseline asserts the baseline round trip: record the
+// fixture's findings, re-run against the baseline and pass, and confirm
+// the un-baselined run still fails.
+func TestDriverBaseline(t *testing.T) {
+	target := "./cmd/yosolint/testdata/e2e/sharing"
+	path := filepath.Join(t.TempDir(), "baseline.json")
+
+	out, code := runYosolint(t, "-baseline="+path, "-baseline-record", target)
+	if code != 0 {
+		t.Fatalf("-baseline-record exit code = %d, want 0\noutput:\n%s", code, out)
+	}
+	if !strings.Contains(out, "recorded") {
+		t.Errorf("-baseline-record output does not confirm the recording:\n%s", out)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("baseline file was not written: %v", err)
+	}
+	base, err := analysis.ReadBaseline(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("recorded baseline does not parse: %v", err)
+	}
+	if base.Tool != "yosolint" || len(base.Fingerprints) == 0 {
+		t.Fatalf("recorded baseline is empty or mislabelled: %+v", base)
+	}
+
+	out, code = runYosolint(t, "-baseline="+path, target)
+	if code != 0 {
+		t.Errorf("baselined run exit code = %d, want 0 (all findings recorded)\noutput:\n%s", code, out)
+	}
+
+	out, code = runYosolint(t, target)
+	if code != 1 {
+		t.Errorf("un-baselined run exit code = %d, want 1\noutput:\n%s", code, out)
+	}
+
+	// A baseline recorded on the clean fixture must not mask the
+	// violating fixture's findings: every one of them is new.
+	out, code = runYosolint(t, "-baseline="+path, "-baseline-record", "./cmd/yosolint/testdata/e2e/declassified")
+	if code != 0 {
+		t.Fatalf("recording clean baseline: exit %d\noutput:\n%s", code, out)
+	}
+	out, code = runYosolint(t, "-baseline="+path, target)
+	if code != 1 {
+		t.Errorf("new findings against an empty baseline: exit %d, want 1\noutput:\n%s", code, out)
 	}
 }
 

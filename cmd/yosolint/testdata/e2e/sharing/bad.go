@@ -1,8 +1,9 @@
 // Package sharing is the end-to-end regression fixture for cmd/yosolint:
 // one compiling file violating every analyzer in the suite. The driver
-// must exit non-zero and name all eight analyzers when pointed here. The
-// directory is named "sharing" so the cryptorand protected-segment rule
-// applies; testdata placement keeps it out of ./... wildcard runs.
+// must exit non-zero and name all ten analyzers when pointed here. The
+// directory is named "sharing" so the cryptorand and zeroize
+// protected-segment rules apply; testdata placement keeps it out of
+// ./... wildcard runs.
 package sharing
 
 import (
@@ -65,6 +66,21 @@ func BadSpawn(ch chan int) {
 			_ = v
 		}
 	}()
+}
+
+// BadSecretBranch violates sidechannel: a share value decides a branch.
+func BadSecretBranch(sh realsharing.Share) field.Element {
+	if sh.Value == 0 {
+		return field.One
+	}
+	return sh.Value
+}
+
+// BadUnwiped violates zeroize: a sampled secret vector is dropped with no
+// wipe on the return path.
+func BadUnwiped() field.Element {
+	v := field.MustRandomVec(4)
+	return v[0].Add(v[1])
 }
 
 // BadWire violates wirecodec: half a codec with no stream halves.

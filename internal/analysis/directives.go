@@ -41,12 +41,23 @@ type Directive struct {
 //     secretflow as a taint source annotation, suppresses nothing.
 //   - declassify: the flagged secret flow is an intentional disclosure
 //     (protocol output, simulation transcript); honored by secretflow.
+//   - vartime: the flagged secret-dependent operation is deliberately
+//     variable-time (public by the time it runs, or inside a blinded
+//     path); honored by sidechannel.
+//   - owner: documents who wipes a secret buffer handed across a
+//     function boundary; honored by zeroize.
 var KnownDirectives = map[string]bool{
 	"simulation": true,
 	"ignore":     true,
 	"secret":     true,
 	"declassify": true,
+	"vartime":    true,
+	"owner":      true,
 }
+
+// DirectiveAnalyzerName is the pseudo-analyzer under which the runner
+// reports directive-hygiene findings (unknown names, missing reasons).
+const DirectiveAnalyzerName = "yosolint"
 
 const directivePrefix = "//yosolint:"
 
@@ -119,7 +130,7 @@ func indexDirectives(pkg *Package, honored map[string]bool) (directiveIndex, []D
 			dpos := pkg.Fset.Position(d.Pos)
 			if !honored[d.Name] {
 				diags = append(diags, Diagnostic{
-					Analyzer: "yosolint",
+					Analyzer: DirectiveAnalyzerName,
 					Pos:      dpos,
 					Message:  "unknown //yosolint: directive " + strconvQuote(d.Name) + " (no registered analyzer honors it)",
 				})
@@ -127,7 +138,7 @@ func indexDirectives(pkg *Package, honored map[string]bool) (directiveIndex, []D
 			}
 			if d.Reason == "" {
 				diags = append(diags, Diagnostic{
-					Analyzer: "yosolint",
+					Analyzer: DirectiveAnalyzerName,
 					Pos:      dpos,
 					Message:  "//yosolint:" + d.Name + " directive requires a justifying comment",
 				})

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Baseline support: a lint baseline records the fingerprints of known
+// findings so CI can fail only on new ones while a triage backlog is
+// burned down. A fingerprint identifies a finding by analyzer, file, and
+// message — deliberately not by line, so unrelated edits that shift code
+// do not churn the baseline. Identical findings in one file (same
+// analyzer, same message) are disambiguated by count: the baseline stores
+// how many there were, and comparison subtracts counts.
+
+// BaselineVersion is the on-disk format version.
+const BaselineVersion = 1
+
+// Baseline is the parsed baseline file: fingerprint → occurrence count.
+type Baseline struct {
+	Version      int            `json:"version"`
+	Tool         string         `json:"tool"`
+	Fingerprints map[string]int `json:"fingerprints"`
+}
+
+// Fingerprint returns the stable identity of a diagnostic: a SHA-256 over
+// the analyzer name, the file path (slash-separated, relative to baseDir
+// when beneath it), and the message text. Line and column are excluded on
+// purpose.
+func Fingerprint(d Diagnostic, baseDir string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%s", d.Analyzer, artifactURI(d.Pos.Filename, baseDir), d.Message)
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+// WriteBaseline records the fingerprints of the given diagnostics.
+func WriteBaseline(w io.Writer, diags []Diagnostic, baseDir string) error {
+	b := Baseline{Version: BaselineVersion, Tool: "yosolint", Fingerprints: map[string]int{}}
+	for _, d := range diags {
+		b.Fingerprints[Fingerprint(d, baseDir)]++
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadBaseline parses a baseline previously written by WriteBaseline.
+func ReadBaseline(r io.Reader) (*Baseline, error) {
+	var b Baseline
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("baseline: %v", err)
+	}
+	if b.Version != BaselineVersion {
+		return nil, fmt.Errorf("baseline: version %d, want %d", b.Version, BaselineVersion)
+	}
+	if b.Fingerprints == nil {
+		b.Fingerprints = map[string]int{}
+	}
+	return &b, nil
+}
+
+// Filter returns the diagnostics not covered by the baseline, preserving
+// order. Each baselined fingerprint absorbs up to its recorded count, so
+// a file gaining an additional identical finding still fails.
+func (b *Baseline) Filter(diags []Diagnostic, baseDir string) []Diagnostic {
+	budget := make(map[string]int, len(b.Fingerprints))
+	for fp, n := range b.Fingerprints {
+		budget[fp] = n
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		fp := Fingerprint(d, baseDir)
+		if budget[fp] > 0 {
+			budget[fp]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Stale returns the baselined fingerprints no longer matched by any
+// current diagnostic, sorted, so CI can nudge the baseline shrinking.
+func (b *Baseline) Stale(diags []Diagnostic, baseDir string) []string {
+	current := map[string]int{}
+	for _, d := range diags {
+		current[Fingerprint(d, baseDir)]++
+	}
+	var out []string
+	for fp, n := range b.Fingerprints {
+		if current[fp] < n {
+			out = append(out, fp)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -32,6 +32,10 @@ func FuzzDirectiveParse(f *testing.F) {
 		"package p\n\n//yosolint:blocking mutex serializes the single connection\nvar x = 1\n",
 		"package p\n\nvar x = 1 //yosolint:daemon debug endpoint lives for the process lifetime\n",
 		"package p\n\ntype T struct{} //yosolint:wireok local snapshot, never posted\n",
+		"package p\n\nvar x = 1 //yosolint:vartime reconstruction-side: the decoder learns the secrets anyway\n",
+		"package p\n\n//yosolint:vartime dealer-side one-time keygen\nvar x = 1\n",
+		"package p\n\nvar x = 1 //yosolint:owner caller wipes the sampled vector after use\n",
+		"package p\n\n//yosolint:owner constructor hands the buffer to the session, wiped in Close\nvar x = 1\n",
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))

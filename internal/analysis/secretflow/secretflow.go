@@ -76,7 +76,7 @@ func run(mp *analysis.ModulePass) error {
 	// whole load (including dependency-only packages) so marks are in
 	// force before any body is analyzed.
 	for _, pkg := range mp.Packages {
-		markSecrets(eng, pkg)
+		MarkSecrets(eng, pkg)
 	}
 	// Second pass: dependency order, dependencies first, so callee
 	// summaries exist before their call sites. Leaks found in packages
@@ -94,10 +94,13 @@ func run(mp *analysis.ModulePass) error {
 	return nil
 }
 
-// markSecrets registers the package's //yosolint:secret annotations: on a
+// MarkSecrets registers the package's //yosolint:secret annotations: on a
 // type declaration line the whole type becomes secret material, on a
-// struct field line just that field does.
-func markSecrets(eng *taint.Engine, pkg *analysis.Package) {
+// struct field line just that field does. Exported so sibling analyzers
+// (sidechannel, zeroize) can seed their engines with the same
+// secret-source model, builtin sets plus annotations, that this analyzer
+// enforces.
+func MarkSecrets(eng *taint.Engine, pkg *analysis.Package) {
 	if pkg.Types == nil {
 		return
 	}
@@ -258,6 +261,11 @@ func isStdStream(pkg *analysis.Package, e ast.Expr) bool {
 	}
 	return pn.Imported().Path() == "os" && (sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr")
 }
+
+// IsSanitizer exposes the sanitizer predicate to sibling analyzers that
+// reuse the secret-source model (a value that went through encryption or
+// proving is no longer secret for their policies either).
+func IsSanitizer(fn *types.Func) bool { return sanitizer(fn) }
 
 // sanitizer reports callees whose results are clean regardless of input:
 // encryption in the crypto-bearing packages, the standard hash/crypto

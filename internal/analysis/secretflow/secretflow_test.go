@@ -12,13 +12,15 @@ import (
 	"yosompc/internal/analysis/analysistest"
 )
 
-// TestFixtures runs the analyzer over the six leak-class fixtures:
+// TestFixtures runs the analyzer over the seven leak-class fixtures:
 // direct sink, sink inside a helper, struct embedding + channel erasure,
-// justified declassification, the encrypt-then-post clean path, and
-// telemetry emitters (span attributes, metric names and samples).
+// justified declassification, the encrypt-then-post clean path,
+// telemetry emitters (span attributes, metric names and samples), and
+// the pinned modelling blind spots (closure captures caught, calls
+// through function/method values not).
 func TestFixtures(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), Analyzer,
-		"direct", "helper", "chanembed", "declass", "transport", "telemetrysink")
+		"direct", "helper", "chanembed", "declass", "transport", "telemetrysink", "blindspot")
 }
 
 // TestBuiltinSourceSetSync type-checks the real packages behind the

@@ -1,0 +1,85 @@
+// Package blindspot pins the engine's documented modelling limits
+// (docs/STATIC_ANALYSIS.md, "What secretflow cannot see") as executable
+// fixtures: the cases that ARE caught carry want comments, and the
+// escapes are pinned clean so a future engine change that starts (or
+// stops) seeing them fails this test and forces the docs to move in
+// lockstep.
+package blindspot
+
+import (
+	"log"
+
+	"yosompc/internal/sharing"
+)
+
+// InlineClosure: closure bodies are analyzed inline in their enclosing
+// function, so a sink inside an immediately-invoked closure is caught.
+func InlineClosure(sh sharing.Share) {
+	func() {
+		log.Printf("inline %v", sh) // want `secret value sh reaches logging sink log.Printf`
+	}()
+}
+
+// CapturedClosure: the closure body is analyzed where it is written, so
+// a capture that sinks is caught at the sink line even though the
+// closure is only stored, never called here.
+func CapturedClosure(sh sharing.Share) func() {
+	return func() {
+		log.Printf("captured %v", sh) // want `secret value sh reaches logging sink log.Printf`
+	}
+}
+
+// sinkFn is a named helper whose summary records the sink.
+func sinkFn(v any) {
+	log.Printf("helper %v", v)
+}
+
+// DirectHelperCall: the summary-based interprocedural path — caught.
+func DirectHelperCall(sh sharing.Share) {
+	sinkFn(sh) // want `secret value sh reaches a logging sink inside .*sinkFn`
+}
+
+// FuncValueCall is BLIND SPOT 1: the same helper invoked through a bare
+// function value. Calls through function values propagate taint to
+// results but perform no summary lookup, so the sink inside sinkFn is
+// not attributed to this call site. Pinned clean.
+func FuncValueCall(sh sharing.Share) {
+	f := sinkFn
+	f(sh) // pinned clean: function-value calls have no summary lookup
+}
+
+// logger wraps a sinking method for the method-value case.
+type logger struct{ prefix string }
+
+func (l *logger) emit(v any) {
+	log.Printf("%s %v", l.prefix, v)
+}
+
+// MethodCall: ordinary method dispatch resolves the callee — caught.
+func MethodCall(sh sharing.Share, l *logger) {
+	l.emit(sh) // want `secret value sh reaches a logging sink inside .*emit`
+}
+
+// MethodValueCall is BLIND SPOT 2: a method value binds the receiver
+// into a function value, and the later call through it resolves no
+// callee, so emit's summary is never consulted. Pinned clean.
+func MethodValueCall(sh sharing.Share, l *logger) {
+	f := l.emit
+	f(sh) // pinned clean: method-value calls have no summary lookup
+}
+
+// dispatcher stores a callback taking the secret as a parameter; the
+// body is analyzed in its defining scope where the parameter is clean.
+type dispatcher struct {
+	fire func(v any)
+}
+
+// DeferredCallback is BLIND SPOT 3: the callback's body sinks its
+// parameter, but the body was analyzed with an untainted parameter and
+// the invocation site resolves no callee. Pinned clean end to end.
+func DeferredCallback(sh sharing.Share) {
+	d := &dispatcher{fire: func(v any) {
+		log.Printf("deferred %v", v) // clean here: v is not tainted in this scope
+	}}
+	d.fire(sh) // pinned clean: struct-field function calls have no summary lookup
+}

@@ -1,0 +1,15 @@
+package sidechannel
+
+import (
+	"testing"
+
+	"yosompc/internal/analysis/analysistest"
+)
+
+// TestFixtures runs the analyzer over the fixture packages: the four sink
+// classes with their clean counterparts, the sanctioned kernel package,
+// and the caller side of the kernel sanction.
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), Analyzer,
+		"sidechan", "paillier", "kernelcall")
+}

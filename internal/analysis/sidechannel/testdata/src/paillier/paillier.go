@@ -1,0 +1,24 @@
+// Package paillier stands in for the sanctioned kernel packages: its
+// path segment matches the kernel sanction, so trace-sink classification
+// is suppressed wholesale — the kernels' constant-time story is audited
+// by hand, not by this analyzer.
+package paillier
+
+import "math/big"
+
+// Prime is a kernel-internal secret.
+//
+//yosolint:secret kernel-internal prime factor
+type Prime struct {
+	P *big.Int
+}
+
+// Reduce is full of variable-time operations on secret operands; the
+// kernel sanction keeps it silent and keeps trace-sink facts out of its
+// summary, so callers in other packages stay silent too.
+func Reduce(p Prime, x *big.Int) *big.Int {
+	if p.P.Cmp(x) < 0 { // clean: sanctioned kernel package
+		return new(big.Int).Mod(x, p.P) // clean: sanctioned kernel package
+	}
+	return x
+}

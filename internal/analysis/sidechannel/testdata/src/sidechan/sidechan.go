@@ -1,0 +1,108 @@
+// Package sidechan exercises the sidechannel analyzer's four sink
+// classes — branch, index, compare, bigint — plus the clean paths: nil
+// checks, public fields, length tests, the sanctioned constant-time
+// comparisons, and a justified //yosolint:vartime suppression.
+package sidechan
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"crypto/subtle"
+	"math/big"
+)
+
+// Key carries secret material in Raw; ID is public.
+type Key struct {
+	ID  int
+	Raw []byte //yosolint:secret raw key bytes reconstruct the decryption key
+}
+
+// Exponent is a whole-type secret: a threshold exponent share.
+//
+//yosolint:secret threshold exponent share
+type Exponent struct {
+	D *big.Int
+}
+
+var table [256]int
+
+func Branch(k Key) int {
+	if len(k.Raw) == 0 { // clean: a length is a public size
+		return 0
+	}
+	if k.Raw[0] == 0 { // want `secret-dependent branch on k\.Raw\[0\] == 0`
+		return 1
+	}
+	return 2
+}
+
+func LoopBound(k Key) int {
+	total := 0
+	for i := 0; i < int(k.Raw[0]); i++ { // want `secret-dependent branch on i < int\(k\.Raw\[0\]\)`
+		total += i
+	}
+	return total
+}
+
+func Index(k Key) int {
+	return table[k.Raw[0]] // want `secret-dependent index k\.Raw\[0\] \(cache side channel\)`
+}
+
+func Compare(k Key, other []byte) bool {
+	return bytes.Equal(k.Raw, other) // want `secret value k\.Raw flows into variable-time bytes\.Equal`
+}
+
+func CompareOK(k Key, other []byte) bool {
+	return subtle.ConstantTimeCompare(k.Raw, other) == 1 // clean: sanctioned constant-time compare
+}
+
+func MacOK(k Key, msg, tag []byte) bool {
+	m := hmac.New(sha256.New, k.Raw)
+	m.Write(msg)
+	return hmac.Equal(m.Sum(nil), tag) // clean: hmac.Equal is constant time
+}
+
+func BigCmp(e Exponent, bound *big.Int) bool {
+	return e.D.Cmp(bound) < 0 // want `secret value e\.D feeds variable-time big\.Int operation`
+}
+
+func BigExp(e Exponent, base, mod *big.Int) *big.Int {
+	return new(big.Int).Exp(base, e.D, mod) // want `secret value e\.D feeds variable-time big\.Int operation`
+}
+
+// firstNonzero branches on its parameter; callers that pass secret
+// material report at the call site, interprocedurally.
+func firstNonzero(x []byte) int {
+	for i, b := range x {
+		if b != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+func Helper(k Key) int {
+	return firstNonzero(k.Raw) // want `secret value k\.Raw decides a branch inside .*firstNonzero`
+}
+
+func NilCheck(e *Exponent) int {
+	if e == nil { // clean: presence of a pointer, not its value
+		return 0
+	}
+	return 1
+}
+
+func PublicOK(k Key) int {
+	if k.ID > 3 { // clean: ID is not marked secret
+		return 1
+	}
+	return 0
+}
+
+func Justified(k Key) bool {
+	if k.Raw[0] == 1 { //yosolint:vartime fixture: the compared byte is a public test vector, not live key material
+		return true
+	}
+	return false
+}

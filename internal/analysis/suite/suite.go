@@ -12,7 +12,9 @@ import (
 	"yosompc/internal/analysis/postcheck"
 	"yosompc/internal/analysis/roleonce"
 	"yosompc/internal/analysis/secretflow"
+	"yosompc/internal/analysis/sidechannel"
 	"yosompc/internal/analysis/wirecodec"
+	"yosompc/internal/analysis/zeroize"
 )
 
 // Analyzers returns the yosolint suite in stable order.
@@ -25,6 +27,8 @@ func Analyzers() []*analysis.Analyzer {
 		postcheck.Analyzer,
 		roleonce.Analyzer,
 		secretflow.Analyzer,
+		sidechannel.Analyzer,
 		wirecodec.Analyzer,
+		zeroize.Analyzer,
 	}
 }

@@ -39,6 +39,10 @@ type Sink struct {
 	// Args are the call-argument indices that disclose their value; nil
 	// means every argument.
 	Args []int
+	// Recv additionally checks the receiver expression of a method-call
+	// sink (big.Int's `z.Cmp(x)` discloses timing about z as much as x;
+	// the receiver is not part of Args).
+	Recv bool
 }
 
 // Config parameterizes an Engine.
@@ -60,6 +64,21 @@ type Config struct {
 	// argument taint: encryption, commitment hashing, ZK proving. May be
 	// nil.
 	Sanitizer func(fn *types.Func) bool
+	// ControlSink, when non-nil, classifies a control expression — an
+	// if/for condition, switch tag, or case expression, which the CFG
+	// records as a bare expression node — as an execution-trace sink. It
+	// returns the subexpressions whose taint constitutes the leak (letting
+	// the policy prune nil-checks and length tests) and the sink kind;
+	// returning no expressions ignores the control expression. Taint that
+	// is conditional on the enclosing function's parameters becomes a sink
+	// fact in its summary, so a helper that branches on its argument
+	// reports at every call site that passes a secret.
+	ControlSink func(pkg *analysis.Package, cond ast.Expr) ([]ast.Expr, string)
+	// IndexSink likewise classifies an index expression (e[i] over a
+	// slice, array, map or string) as a memory-trace sink. The policy
+	// returns the subexpressions to check (typically the index operand)
+	// and the sink kind.
+	IndexSink func(pkg *analysis.Package, ix *ast.IndexExpr) ([]ast.Expr, string)
 }
 
 // Leak is one concrete secret-to-sink flow.
@@ -67,9 +86,10 @@ type Leak struct {
 	// Pos locates the sink call (or the call into the helper that
 	// sinks).
 	Pos token.Pos
-	// Sink is the sink's kind ("log", "error", "post").
+	// Sink is the sink's kind ("log", "error", "post", "branch", …).
 	Sink string
-	// Callee is the full name of the called function.
+	// Callee is the full name of the called function; empty for non-call
+	// trace sinks (branch conditions, index expressions).
 	Callee string
 	// Expr renders the tainted argument expression.
 	Expr string
@@ -194,6 +214,17 @@ func (e *Engine) AddPackage(pkg *analysis.Package) []Leak {
 
 // Leaks returns every leak recorded so far, in discovery order.
 func (e *Engine) Leaks() []Leak { return e.leaks }
+
+// IsSecretType reports whether values of t ARE secret material under the
+// engine's source configuration: a marked named type, or a container of
+// one. Exported for sibling analyzers (zeroize, sidechannel) that reuse
+// the secret-source model for their own policies.
+func (e *Engine) IsSecretType(t types.Type) bool { return e.isDirectSecret(t) }
+
+// CarriesSecret reports whether formatting or serializing a whole value
+// of t can expose secret material: direct secrets plus structs with a
+// secret (or marked) field, transitively.
+func (e *Engine) CarriesSecret(t types.Type) bool { return e.carriesSecret(t) }
 
 // TypeKey returns the canonical key of a named type or alias object.
 func TypeKey(obj types.Object) string {
@@ -491,6 +522,15 @@ func (sc *fnScope) node(n ast.Node, sig *types.Signature) {
 			}
 		}
 	}
+	// Control expressions reach the CFG as bare expression nodes; give the
+	// policy a chance to classify them as execution-trace sinks.
+	if e, ok := n.(ast.Expr); ok && sc.st.engine.cfg.ControlSink != nil {
+		if exprs, kind := sc.st.engine.cfg.ControlSink(sc.st.pkg, e); kind != "" {
+			for _, x := range exprs {
+				sc.traceSink(x, sc.eval(x), kind)
+			}
+		}
+	}
 	// Named results assigned through their identifiers.
 	if ret, ok := n.(*ast.ReturnStmt); ok && len(ret.Results) == 0 {
 		for i := 0; i < sig.Results().Len(); i++ {
@@ -505,6 +545,14 @@ func (sc *fnScope) node(n ast.Node, sig *types.Signature) {
 		switch x := x.(type) {
 		case *ast.CallExpr:
 			sc.call(x)
+		case *ast.IndexExpr:
+			if sc.st.engine.cfg.IndexSink != nil {
+				if exprs, kind := sc.st.engine.cfg.IndexSink(sc.st.pkg, x); kind != "" {
+					for _, sub := range exprs {
+						sc.traceSink(sub, sc.eval(sub), kind)
+					}
+				}
+			}
 		case *ast.FuncLit:
 			lit := &fnScope{st: sc.st, fn: sc.fn, key: sc.key, params: sc.params, sum: sc.sum}
 			// The closure's own returns do not feed the enclosing
@@ -545,10 +593,14 @@ func (sc *fnScope) assign(lhs, rhs []ast.Expr) {
 			}
 			return
 		}
+		// Each target gets its own element of the recorded tuple type:
+		// the comma-ok bool of a secret-map lookup carries the lookup's
+		// flow taint but not the element type's secrecy — presence is not
+		// the value.
 		v := sc.evalFlow(rhs[0])
-		rt := tupleAt(typeOf(sc.st.pkg, rhs[0]), 0)
-		for _, l := range lhs {
-			sc.store(l, v, rt)
+		rt := typeOf(sc.st.pkg, rhs[0])
+		for i, l := range lhs {
+			sc.store(l, v, tupleAt(rt, i))
 		}
 		return
 	}
@@ -795,6 +847,11 @@ func (sc *fnScope) call(call *ast.CallExpr) []taintVal {
 				}
 				sc.sinkArg(call.Args[i], sc.eval(call.Args[i]), s.Kind, fn, "")
 			}
+			if s.Recv {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					sc.sinkArg(sel.X, sc.eval(sel.X), s.Kind, fn, "")
+				}
+			}
 			return make([]taintVal, resultCount(fn))
 		}
 	}
@@ -1012,13 +1069,36 @@ func (sc *fnScope) sinkArg(arg ast.Expr, v taintVal, kind string, fn *types.Func
 			Via:    via,
 		})
 	}
-	if v.params != 0 {
-		for b := 0; b < sc.sum.nparams && b < 64; b++ {
-			if v.params&paramBit(b) != 0 {
-				if _, ok := sc.sum.sinks[b]; !ok {
-					sc.sum.sinks[b] = kind
-					sc.st.changed = true
-				}
+	sc.sinkParams(v, kind)
+}
+
+// traceSink records a tainted value meeting a non-call sink (a branch
+// condition, a memory index): a concrete leak when the taint is definite,
+// and a sink fact on the enclosing function's parameters when conditional
+// — so a helper that branches on its argument reports interprocedurally
+// at each call site that passes a secret.
+func (sc *fnScope) traceSink(arg ast.Expr, v taintVal, kind string) {
+	if v.always {
+		sc.st.engine.recordLeak(Leak{
+			Pos:  arg.Pos(),
+			Sink: kind,
+			Expr: types.ExprString(arg),
+		})
+	}
+	sc.sinkParams(v, kind)
+}
+
+// sinkParams registers "parameter b reaches a kind sink" facts in the
+// enclosing function's summary.
+func (sc *fnScope) sinkParams(v taintVal, kind string) {
+	if v.params == 0 {
+		return
+	}
+	for b := 0; b < sc.sum.nparams && b < 64; b++ {
+		if v.params&paramBit(b) != 0 {
+			if _, ok := sc.sum.sinks[b]; !ok {
+				sc.sum.sinks[b] = kind
+				sc.st.changed = true
 			}
 		}
 	}

@@ -1,0 +1,25 @@
+// Package field is the fixture stand-in for the real field kernel: its
+// path segment makes RandomVec a recognized secret-buffer source, and its
+// Zeroize helpers are recognized wipes.
+package field
+
+// Element is a fixture field element.
+type Element uint64
+
+// Vec is a vector of elements.
+type Vec []Element
+
+// RandomVec samples a fresh secret vector.
+func RandomVec(n int) (Vec, error) {
+	return make(Vec, n), nil
+}
+
+// Zeroize wipes a buffer of elements.
+func Zeroize(v []Element) {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Zeroize wipes the vector.
+func (v Vec) Zeroize() { Zeroize(v) }

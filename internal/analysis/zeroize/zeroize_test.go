@@ -1,0 +1,14 @@
+package zeroize
+
+import (
+	"testing"
+
+	"yosompc/internal/analysis/analysistest"
+)
+
+// TestFixtures runs the analyzer over the lifetime fixture: drops, the
+// wipe forms, defer coverage of exit paths, ownership transfers, and
+// unbound source calls.
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), Analyzer, "sharing")
+}

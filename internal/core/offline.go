@@ -635,11 +635,7 @@ func (r *run) recoverShares(c *yoso.Committee, phase comm.Phase) ([]tte.KeyShare
 		}
 		var subs []tte.SubShare
 		for _, env := range byTarget[i] {
-			data, err := role.SecretKey().Decrypt(env.Ct)
-			if err != nil {
-				continue
-			}
-			sub, err := te.DecodeSubShare(r.tpk, data)
+			sub, err := r.decryptSubShare(role.SecretKey(), env.Ct)
 			if err != nil {
 				continue
 			}
@@ -653,6 +649,19 @@ func (r *run) recoverShares(c *yoso.Committee, phase comm.Phase) ([]tte.KeyShare
 		shares[i-1] = sh
 	}
 	return shares, nil
+}
+
+// decryptSubShare opens one handoff envelope with the role secret key and
+// decodes the key sub-share, wiping the decrypted plaintext before
+// returning — the raw bytes carry the same secret as the sub-share and
+// must not outlive the decode.
+func (r *run) decryptSubShare(sk pke.SecretKey, ct pke.Ciphertext) (tte.SubShare, error) {
+	data, err := sk.Decrypt(ct)
+	if err != nil {
+		return nil, err
+	}
+	defer clear(data)
+	return r.p.params.TE.DecodeSubShare(r.tpk, data)
 }
 
 // offlinePack is Step 4: everyone locally assembles, per batch, the packed

@@ -450,14 +450,10 @@ func (r *run) combineEnvelopes(sk pke.SecretKey, envs []envelope, ct tte.Ciphert
 	te := r.p.params.TE
 	var parts []tte.PartialDec
 	for _, env := range envs {
-		data, err := sk.Decrypt(env.Ct)
+		part, err := r.decryptPartial(sk, env.Ct)
 		if err != nil {
 			// Envelope not for us or corrupted — skip; GOD relies on
 			// the honest majority of envelopes.
-			continue
-		}
-		part, err := te.DecodePartial(r.tpk, data)
-		if err != nil {
 			continue
 		}
 		parts = append(parts, part)
@@ -467,6 +463,18 @@ func (r *run) combineEnvelopes(sk pke.SecretKey, envs []envelope, ct tte.Ciphert
 		return nil, fmt.Errorf("%w: combining %d envelopes: %v", ErrNotEnough, len(envs), err)
 	}
 	return v, nil
+}
+
+// decryptPartial opens one partial-decryption envelope and decodes it,
+// wiping the decrypted plaintext before returning — the raw bytes carry
+// the partial decryption and must not outlive the decode.
+func (r *run) decryptPartial(sk pke.SecretKey, ct pke.Ciphertext) (tte.PartialDec, error) {
+	data, err := sk.Decrypt(ct)
+	if err != nil {
+		return nil, err
+	}
+	defer clear(data)
+	return r.p.params.TE.DecodePartial(r.tpk, data)
 }
 
 // reconstructShares interpolates packed secrets from μ-shares.

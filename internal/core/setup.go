@@ -96,7 +96,9 @@ func (r *run) newKFF(owner string) (*kffEntry, error) {
 	if err != nil {
 		return nil, fmt.Errorf("KFF keygen for %s: %w", owner, err)
 	}
-	skInt := new(big.Int).SetBytes(sec.Bytes())
+	skBytes := sec.Bytes()
+	skInt := new(big.Int).SetBytes(skBytes)
+	clear(skBytes)
 	ct, err := p.TE.Encrypt(r.tpk, skInt, kffSecretBound)
 	if err != nil {
 		return nil, fmt.Errorf("TEnc of KFF secret for %s: %w", owner, err)

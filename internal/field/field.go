@@ -234,13 +234,15 @@ func RandomVec(n int) ([]Element, error) {
 	return out, nil
 }
 
-// MustRandomVec is RandomVec panicking on randomness failure.
+// MustRandomVec is RandomVec panicking on randomness failure. The caller
+// owns the returned buffer and is responsible for wiping it (Zeroize)
+// once the secret material it carries is no longer needed.
 func MustRandomVec(n int) []Element {
 	v, err := RandomVec(n)
 	if err != nil {
 		panic(err)
 	}
-	return v
+	return v //yosolint:owner constructor: the caller owns the sampled vector and wipes it after use
 }
 
 // BatchInv inverts every element of xs with a single field inversion

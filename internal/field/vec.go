@@ -94,6 +94,24 @@ func CloneVec(a []Element) []Element {
 	return out
 }
 
+// Zeroize overwrites every element of v with zero. Sharing and protocol
+// layers call it (usually via defer) on buffers that held secret
+// material — polynomial coefficients, sampled randomness — so share data
+// does not linger in heap pages after the role that held it has spoken.
+// The wipe goes through a package-level sink so the compiler cannot
+// dead-store-eliminate it.
+func Zeroize(v []Element) {
+	for i := range v {
+		v[i] = 0
+	}
+	zeroizeSink(v)
+}
+
+// zeroizeSink defeats dead-store elimination of the wipe loop: an
+// indirect call through a package variable keeps the cleared buffer
+// observable as far as the compiler can prove.
+var zeroizeSink = func([]Element) {}
+
 // AppendVecBytes appends the fixed-size encodings of all elements to dst.
 func AppendVecBytes(dst []byte, a []Element) []byte {
 	for _, v := range a {

@@ -123,3 +123,26 @@ func TestMismatchedLengthsPanic(t *testing.T) {
 	}()
 	AddVec(make([]Element, 2), make([]Element, 3))
 }
+
+func TestZeroize(t *testing.T) {
+	v := MustRandomVec(64)
+	Zeroize(v)
+	for i, e := range v {
+		if e != Zero {
+			t.Fatalf("Zeroize left v[%d] = %v", i, e)
+		}
+	}
+	Zeroize(nil) // must tolerate empty input
+}
+
+// BenchmarkZeroize bounds the cost the sharing hot path pays for wiping
+// its scratch randomness: one pass over a d+1 = 513 element buffer (the
+// n=1024 benchmark geometry) against the ~861µs the share evaluation
+// itself takes — the wipe must stay noise.
+func BenchmarkZeroize(b *testing.B) {
+	v := MustRandomVec(513)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Zeroize(v)
+	}
+}

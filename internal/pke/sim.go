@@ -3,6 +3,7 @@ package pke
 import (
 	"crypto/rand"
 	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/binary"
 	"fmt"
 )
@@ -67,6 +68,17 @@ func seedID(seed [SecretKeySize]byte) uint64 {
 	return binary.BigEndian.Uint64(sum[:8])
 }
 
+// ctEqualID compares two key ids in constant time. The id is derived from
+// the secret seed, so an early-exit comparison would let an attacker
+// probing Decrypt with crafted envelopes learn matching prefixes of the
+// derived key material byte by byte.
+func ctEqualID(a, b uint64) bool {
+	var ab, bb [8]byte
+	binary.BigEndian.PutUint64(ab[:], a)
+	binary.BigEndian.PutUint64(bb[:], b)
+	return subtle.ConstantTimeCompare(ab[:], bb[:]) == 1
+}
+
 // Encrypt implements PublicKey.
 func (p *simPub) Encrypt(msg []byte) (Ciphertext, error) {
 	cp := make([]byte, len(msg))
@@ -91,7 +103,7 @@ func (k *simSecret) Decrypt(ct Ciphertext) ([]byte, error) {
 	if !ok {
 		return nil, ErrWrongKey
 	}
-	if sc.keyID != k.id {
+	if !ctEqualID(sc.keyID, k.id) {
 		return nil, fmt.Errorf("%w: envelope for key %012x, have %012x", ErrDecrypt, sc.keyID, k.id)
 	}
 	out := make([]byte, len(sc.msg))

@@ -34,6 +34,12 @@ func New(coeffs []field.Element) Polynomial {
 // Zero returns the zero polynomial.
 func Zero() Polynomial { return Polynomial{} }
 
+// Zeroize wipes the coefficient buffer in place. Sharing layers call it
+// (usually via defer) on polynomials that interpolated secret values —
+// a packed sharing polynomial's coefficients determine every secret slot,
+// so they must not outlive the share computation.
+func (f Polynomial) Zeroize() { field.Zeroize(f.coeffs) }
+
 // Constant returns the degree-0 polynomial c.
 func Constant(c field.Element) Polynomial {
 	if c.IsZero() {

@@ -240,6 +240,7 @@ func (dom *Domain) ShareRow(index int) []field.Element {
 func (dom *Domain) shareWith(secrets, rnd []field.Element) []Share {
 	v := make([]field.Element, 0, dom.D+1)
 	v = append(append(v, secrets...), rnd...)
+	defer field.Zeroize(v) // scratch copy of secrets ‖ randomness
 	shares := make([]Share, dom.N)
 	for i := range shares {
 		shares[i] = Share{Index: i + 1, Value: field.InnerProductLazy(dom.genRows[i], v)}

@@ -48,7 +48,7 @@ func ReconstructRobust(shares []Share, d, k, maxErrors int) ([]field.Element, er
 	// most maxErrors of ALL provided shares.
 	wrong := 0
 	for _, s := range shares {
-		if f.Eval(ShareIndexPoint(s.Index)) != s.Value {
+		if f.Eval(ShareIndexPoint(s.Index)) != s.Value { //yosolint:vartime reconstruction-side consistency check: the decoder holds >= d+1 shares and learns the secrets anyway
 			wrong++
 		}
 	}
@@ -94,15 +94,15 @@ func berlekampWelch(shares []Share, d, e int) (poly.Polynomial, error) {
 		}
 		m[i] = row
 	}
-	sol, err := solveLinearSystem(m, rhs)
+	sol, err := solveLinearSystem(m, rhs) //yosolint:vartime BW decoding runs at reconstruction where the decoder learns the secrets; elimination pivoting is data-dependent by nature
 	if err != nil {
 		return poly.Polynomial{}, fmt.Errorf("%w: %v", ErrDecodingFailed, err)
 	}
 	eCoeffs := append([]field.Element{}, sol[:e]...)
-	eCoeffs = append(eCoeffs, field.One) // monic x^e
-	ePoly := poly.New(eCoeffs)
-	qPoly := poly.New(sol[e:])
-	f, rem, err := polyDivide(qPoly, ePoly)
+	eCoeffs = append(eCoeffs, field.One)    // monic x^e
+	ePoly := poly.New(eCoeffs)              //yosolint:vartime reconstruction-side: trims trailing zeros of the decoded error locator
+	qPoly := poly.New(sol[e:])              //yosolint:vartime reconstruction-side: trims trailing zeros of the decoded Q polynomial
+	f, rem, err := polyDivide(qPoly, ePoly) //yosolint:vartime reconstruction-side polynomial division of decoded values
 	if err != nil {
 		return poly.Polynomial{}, err
 	}

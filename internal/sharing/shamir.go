@@ -106,6 +106,7 @@ func SharePacked(secrets []field.Element, d, n int) ([]Share, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer field.Zeroize(rnd)
 	dom, err := GetDomain(k, d, n)
 	if err != nil {
 		return nil, err
@@ -132,6 +133,7 @@ func SharePackedNaive(secrets []field.Element, d, n int) ([]Share, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer field.Zeroize(rnd)
 	return sharePackedNaiveWith(secrets, rnd, d, n)
 }
 
@@ -141,6 +143,9 @@ func sharePackedNaiveWith(secrets, rnd []field.Element, d, n int) ([]Share, erro
 	if err != nil {
 		return nil, err
 	}
+	// The sharing polynomial's coefficients determine every secret slot;
+	// wipe them once the share evaluations are done.
+	defer f.Zeroize()
 	shares := make([]Share, n)
 	for i := 0; i < n; i++ {
 		shares[i] = Share{Index: i + 1, Value: f.Eval(ShareIndexPoint(i + 1))}
@@ -234,7 +239,7 @@ func ReconstructPacked(shares []Share, d, k int) ([]field.Element, error) {
 	}
 	for _, s := range shares[d+1:] {
 		row := poly.EvalCoeffsFromWeights(xs, weights, ShareIndexPoint(s.Index))
-		if field.InnerProductLazy(row, ys) != s.Value {
+		if field.InnerProductLazy(row, ys) != s.Value { //yosolint:vartime reconstruction-side consistency check: the reconstructor holds >= d+1 shares and learns the secrets anyway
 			return nil, fmt.Errorf("%w: share %d deviates", ErrInconsistentShares, s.Index)
 		}
 	}
@@ -265,12 +270,12 @@ func ReconstructPackedNaive(shares []Share, d, k int) ([]field.Element, error) {
 		xs[i] = ShareIndexPoint(shares[i].Index)
 		ys[i] = shares[i].Value
 	}
-	f, err := interpolateLagrangeBasis(xs, ys)
+	f, err := interpolateLagrangeBasis(xs, ys) //yosolint:vartime reconstruction-side interpolation: the caller holds the shares it interpolates
 	if err != nil {
 		return nil, err
 	}
 	for _, s := range shares[d+1:] {
-		if f.Eval(ShareIndexPoint(s.Index)) != s.Value {
+		if f.Eval(ShareIndexPoint(s.Index)) != s.Value { //yosolint:vartime reconstruction-side consistency check on the naive reference path
 			return nil, fmt.Errorf("%w: share %d deviates", ErrInconsistentShares, s.Index)
 		}
 	}

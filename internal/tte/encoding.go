@@ -29,7 +29,7 @@ func (s *Threshold) EncodePartial(p PartialDec) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: partial", ErrWrongKey)
 	}
-	return encodeBig(tagPartial, []uint32{uint32(tp.index), uint32(tp.epoch)}, tp.v), nil
+	return encodeBig(tagPartial, []uint32{uint32(tp.index), uint32(tp.epoch)}, tp.v), nil //yosolint:vartime length-prefixed encoding is value-length dependent by construction; the envelope ciphertext size on the board reveals the same length
 }
 
 // DecodePartial parses a partial decryption serialized by EncodePartial.
@@ -56,7 +56,7 @@ func (s *Threshold) EncodeSubShare(sub SubShare) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: subshare", ErrWrongKey)
 	}
-	return encodeBig(tagSubShare, []uint32{uint32(ts.from), uint32(ts.to), uint32(ts.epoch)}, ts.v), nil
+	return encodeBig(tagSubShare, []uint32{uint32(ts.from), uint32(ts.to), uint32(ts.epoch)}, ts.v), nil //yosolint:vartime length-prefixed encoding is value-length dependent by construction; the envelope ciphertext size on the board reveals the same length
 }
 
 // DecodeSubShare parses a subshare serialized by EncodeSubShare.
@@ -74,7 +74,7 @@ func (s *Sim) EncodePartial(p PartialDec) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: partial", ErrWrongKey)
 	}
-	buf := encodeBig(tagPartial, []uint32{uint32(sp.index), uint32(sp.epoch)}, sp.value)
+	buf := encodeBig(tagPartial, []uint32{uint32(sp.index), uint32(sp.epoch)}, sp.value) //yosolint:vartime sim backend encoding; the output is padded to the fixed partial size immediately below
 	return padTo(buf, s.partSize()), nil
 }
 

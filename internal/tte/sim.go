@@ -194,10 +194,10 @@ func (s *Sim) Combine(pk PublicKey, _ Ciphertext, parts []PartialDec) (*big.Int,
 			return nil, fmt.Errorf("%w: partial from %d", ErrDuplicateIndex, sp.index)
 		}
 		seen[sp.index] = true
-		k := sp.value.String()
-		counts[k]++
-		if counts[k] > bestCount {
-			bestCount = counts[k]
+		k := sp.value.String()     //yosolint:vartime sim backend models the TDec functionality for sweeps, not its leakage profile
+		counts[k]++                //yosolint:vartime sim backend majority vote; not a protocol execution path
+		if counts[k] > bestCount { //yosolint:vartime sim backend majority vote; not a protocol execution path
+			bestCount = counts[k] //yosolint:vartime sim backend majority vote; not a protocol execution path
 			best = sp.value
 		}
 	}

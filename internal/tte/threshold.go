@@ -112,7 +112,7 @@ func (s *Threshold) KeyGen(n, t int) (PublicKey, []KeyShare, error) {
 	}
 	sk := s.dealer
 	nm := new(big.Int).Mul(s.dj.Ns, sk.M)
-	mInv := new(big.Int).ModInverse(sk.M, s.dj.Ns)
+	mInv := new(big.Int).ModInverse(sk.M, s.dj.Ns) //yosolint:vartime dealer-side one-time keygen: the dealer holds the full secret key and stdlib math/big has no constant-time inverse
 	if mInv == nil {
 		return nil, nil, errors.New("tte: m not invertible mod N^s")
 	}
@@ -130,7 +130,7 @@ func (s *Threshold) KeyGen(n, t int) (PublicKey, []KeyShare, error) {
 	}
 	shares := make([]KeyShare, n)
 	for i := 1; i <= n; i++ {
-		shares[i-1] = &thresholdShare{index: i, d: evalIntPoly(coeffs, i, nm)}
+		shares[i-1] = &thresholdShare{index: i, d: evalIntPoly(coeffs, i, nm)} //yosolint:vartime dealer-side keygen evaluation of the key-sharing polynomial; stdlib math/big only
 	}
 	pub := &thresholdPK{
 		pk:       &sk.PublicKey,
@@ -226,9 +226,9 @@ func (s *Threshold) PartialDecrypt(pk PublicKey, sh KeyShare, ct Ciphertext) (Pa
 	if !ok {
 		return nil, fmt.Errorf("%w: ciphertext", ErrWrongKey)
 	}
-	exp := new(big.Int).Lsh(tsh.d, 1) // 2·d_i
-	exp.Mul(exp, tpk.delta)           // 2Δ·d_i
-	v, err := expSigned(tct.ct.C, exp, s.dj.Ns1)
+	exp := new(big.Int).Lsh(tsh.d, 1)            // 2·d_i
+	exp.Mul(exp, tpk.delta)                      // 2Δ·d_i
+	v, err := expSigned(tct.ct.C, exp, s.dj.Ns1) //yosolint:vartime partial decryption must exponentiate by the key share and stdlib math/big has no constant-time modexp; residual risk documented in docs/STATIC_ANALYSIS.md
 	if err != nil {
 		return nil, err
 	}
@@ -257,7 +257,7 @@ func (s *Threshold) Combine(pk PublicKey, ct Ciphertext, parts []PartialDec) (*b
 	if err != nil {
 		return nil, err
 	}
-	chosen, epoch, err := selectPartials(parts, tpk.t)
+	chosen, epoch, err := selectPartials(parts, tpk.t) //yosolint:vartime combine-side selection: the combiner is the designated plaintext recipient
 	if err != nil {
 		return nil, err
 	}
@@ -272,8 +272,8 @@ func (s *Threshold) Combine(pk PublicKey, ct Ciphertext, parts []PartialDec) (*b
 	acc := big.NewInt(1)
 	for i, p := range chosen {
 		tp := p.(*thresholdPartial)
-		exp := new(big.Int).Lsh(lambdas[i], 1) // 2Λ_i
-		term, err := expSigned(tp.v, exp, s.dj.Ns1)
+		exp := new(big.Int).Lsh(lambdas[i], 1)      // 2Λ_i
+		term, err := expSigned(tp.v, exp, s.dj.Ns1) //yosolint:vartime combine-side Lagrange weighting: the combiner is the designated plaintext recipient
 		if err != nil {
 			return nil, err
 		}
@@ -351,7 +351,7 @@ func (s *Threshold) Reshare(pk PublicKey, sh KeyShare) ([]SubShare, error) {
 	// epoch 0).
 	mag := new(big.Int).Abs(tsh.d)
 	nm := new(big.Int).Mul(s.dj.Ns, s.dealer.M)
-	if mag.Cmp(nm) < 0 {
+	if mag.Cmp(nm) < 0 { //yosolint:vartime sizes the masking bound; reveals only the share's magnitude class, which its wire-encoding length reveals regardless
 		mag = nm
 	}
 	bound := new(big.Int).Mul(mag, tpk.delta)
@@ -372,7 +372,7 @@ func (s *Threshold) Reshare(pk PublicKey, sh KeyShare) ([]SubShare, error) {
 			from:  tsh.index,
 			to:    j,
 			epoch: tsh.epoch,
-			v:     evalIntPoly(coeffs, j, nil),
+			v:     evalIntPoly(coeffs, j, nil), //yosolint:vartime role-side resharing of its own key share; stdlib math/big only, residual risk documented in docs/STATIC_ANALYSIS.md
 		}
 	}
 	return subs, nil
@@ -448,7 +448,7 @@ func (s *Threshold) SimPartialDecrypt(pk PublicKey, ct Ciphertext, target *big.I
 	if err != nil {
 		return nil, err
 	}
-	mInv := new(big.Int).ModInverse(m, s.dj.Ns)
+	mInv := new(big.Int).ModInverse(m, s.dj.Ns) //yosolint:vartime simulator-only equivocation retargeting; never executed by protocol roles
 	if mInv == nil {
 		return nil, errors.New("tte: true plaintext not invertible mod N^s; cannot retarget")
 	}
@@ -470,11 +470,11 @@ func (s *Threshold) SimPartialDecrypt(pk PublicKey, ct Ciphertext, target *big.I
 		resN.Mul(resN, new(big.Int).Exp(tpk.delta, big.NewInt(int64(epoch)), s.dj.Ns))
 	}
 	resN.Mod(resN, s.dj.Ns)
-	mInvModNs := new(big.Int).ModInverse(s.dealer.M, s.dj.Ns)
+	mInvModNs := new(big.Int).ModInverse(s.dealer.M, s.dj.Ns) //yosolint:vartime simulator-only equivocation retargeting; never executed by protocol roles
 	d0 := new(big.Int).Mul(s.dealer.M, mInvModNs)
 	d0.Mul(d0, resN)
 	nm := new(big.Int).Mul(s.dj.Ns, s.dealer.M)
-	d0.Mod(d0, nm)
+	d0.Mod(d0, nm) //yosolint:vartime simulator-only equivocation retargeting; never executed by protocol roles
 	values[0] = d0
 
 	// Pad to t+1 interpolation points using free honest indices with
@@ -517,7 +517,7 @@ func (s *Threshold) SimPartialDecrypt(pk PublicKey, ct Ciphertext, target *big.I
 			}
 			exp = w.Lsh(w, 1)
 		}
-		v, err := expSigned(tct.ct.C, exp, s.dj.Ns1)
+		v, err := expSigned(tct.ct.C, exp, s.dj.Ns1) //yosolint:vartime simulator-only path fabricating consistent partials; never executed by protocol roles
 		if err != nil {
 			return nil, err
 		}

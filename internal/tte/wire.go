@@ -96,7 +96,7 @@ func (s *Threshold) EncodeKeyShare(sh KeyShare) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: key share", ErrWrongKey)
 	}
-	return encodeBig(tagKeyShare, []uint32{uint32(tsh.index), uint32(tsh.epoch)}, tsh.d), nil
+	return encodeBig(tagKeyShare, []uint32{uint32(tsh.index), uint32(tsh.epoch)}, tsh.d), nil //yosolint:vartime length-prefixed encoding is value-length dependent by construction; the PKE envelope size reveals the same length
 }
 
 // DecodeKeyShare parses a key share serialized by EncodeKeyShare.
