@@ -8,19 +8,23 @@
 // Protocol runs mirror into a board with `yosompc -mirror <addr>`; remote
 // observers audit who posted how many bytes in which phase — the public
 // record the YOSO broadcast channel carries. With -debug, the server also
-// exposes an HTTP observability surface (/metrics, /debug/vars,
-// /debug/pprof/...) for live profiling; see docs/OBSERVABILITY.md.
+// exposes an HTTP observability surface (/metrics, /progress, /debug/vars,
+// /debug/pprof/...) for live profiling and board-derived protocol progress
+// (straggler and fail-stop tracking); see docs/OBSERVABILITY.md. Use
+// `yosowatch` for the live terminal rendering of the same progress.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
+	"yosompc/internal/monitor"
 	"yosompc/internal/telemetry"
 	"yosompc/internal/transport"
 )
@@ -57,14 +61,21 @@ func serve(addr, debugAddr string) {
 	}
 	s := transport.Serve(ln)
 	s.Instrument(reg)
+	var debugSrv *telemetry.HTTPServer
 	if debugAddr != "" {
-		dln, err := net.Listen("tcp", debugAddr)
+		// The monitor derives protocol progress (committee completion,
+		// stragglers, fail-stop margins) from the posts this server
+		// accepts, and /progress serves its snapshot.
+		mon := monitor.New()
+		mon.Instrument(reg)
+		mon.AttachServer(s)
+		h := telemetry.HandlerWithProgress(reg, nil, func() any { return mon.Snapshot() })
+		debugSrv, err = telemetry.ListenAndServe(debugAddr, h)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "boardd: debug listener: %v\n", err)
 			os.Exit(1)
 		}
-		go func() { _ = http.Serve(dln, telemetry.Handler(reg, nil)) }() //yosolint:daemon debug endpoint serves for the process lifetime; the listener dies with the process
-		fmt.Printf("boardd: metrics and pprof on http://%s\n", dln.Addr())
+		fmt.Printf("boardd: metrics, progress and pprof on http://%s\n", debugSrv.Addr())
 	}
 	fmt.Printf("boardd: serving bulletin board on %s\n", s.Addr())
 	sig := make(chan os.Signal, 1)
@@ -72,6 +83,13 @@ func serve(addr, debugAddr string) {
 	<-sig
 	fmt.Printf("boardd: shutting down; %d postings (%s)\n", s.Len(),
 		func() string { r := s.Report(); return fmt.Sprintf("%d bytes", r.Total) }())
+	if debugSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if err := debugSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "boardd: debug shutdown: %v\n", err)
+		}
+		cancel()
+	}
 	_ = s.Close()
 }
 

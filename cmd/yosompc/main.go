@@ -36,6 +36,8 @@ func main() {
 		robust      = flag.Bool("robust", false, "IT-GOD mode: decode cheating μ-shares instead of proof-filtering (needs 3t+2(k-1)+1 ≤ n)")
 		workers     = flag.Int("workers", 0, "worker-pool size for the parallel execution engine (0 = one per CPU, 1 = serial)")
 		mirror      = flag.String("mirror", "", "live-mirror board postings to a boardd server at this address")
+		monitorOn   = flag.Bool("monitor", false, "derive protocol progress from the board and print the summary after the run")
+		proc        = flag.String("proc", "", "process name stamped on board postings and trace exports (cross-process correlation)")
 		jsonOut     = flag.Bool("json", false, "emit the communication report as JSON")
 		traceOut    = flag.String("trace", "", "record protocol spans and write them here (Chrome trace_event JSON; .jsonl for span lines)")
 		metricsOut  = flag.String("metrics-out", "", "collect engine metrics and write the JSON snapshot here")
@@ -69,9 +71,13 @@ func main() {
 		N: *n, T: *t, K: *k,
 		Malicious: *malicious, FailStops: *failstops, Seed: *seed,
 		Robust: *robust, MirrorAddr: *mirror, Workers: *workers,
+		Proc: *proc,
 	}
 	if *backendName == "real" {
 		cfg.Backend = yosompc.Real
+	}
+	if *monitorOn {
+		cfg.Monitor = yosompc.NewMonitor()
 	}
 	if *traceOut != "" {
 		cfg.Trace = yosompc.NewTracer()
@@ -117,6 +123,10 @@ func main() {
 	}
 	if len(res.Excluded) > 0 {
 		fmt.Printf("excluded roles: %v\n", res.Excluded)
+	}
+	if *monitorOn {
+		fmt.Printf("\nboard-derived progress:\n")
+		cfg.Monitor.Snapshot().WriteText(os.Stdout)
 	}
 	if *jsonOut {
 		buf, err := json.MarshalIndent(res.Report, "", "  ")

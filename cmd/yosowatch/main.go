@@ -1,0 +1,153 @@
+// Command yosowatch is the live protocol-progress view over a networked
+// bulletin board: it tails a boardd server, reconstructs committee progress
+// from manifests and postings alone (internal/monitor), and renders
+// per-phase completion, stragglers and fail-stop margins in the terminal.
+// It also merges per-process Chrome traces onto the board's shared
+// timeline for cross-process performance analysis.
+//
+//	yosowatch -board localhost:7946                 # live terminal view
+//	yosowatch -board localhost:7946 -snapshot       # one-shot JSON snapshot
+//	yosowatch -board localhost:7946 -progress :6061 # serve /progress too
+//	yosowatch -board localhost:7946 -merge out.json a.trace.json b.trace.json
+//
+// See docs/OBSERVABILITY.md for the progress schema and the trace-merge
+// clock-alignment model.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"yosompc/internal/monitor"
+	"yosompc/internal/telemetry"
+	"yosompc/internal/transport"
+)
+
+func main() {
+	var (
+		board    = flag.String("board", "", "boardd address to observe (required)")
+		since    = flag.Int("since", 0, "start from this board sequence number")
+		interval = flag.Duration("interval", time.Second, "redraw interval for the live view")
+		snapshot = flag.Bool("snapshot", false, "print one JSON progress snapshot and exit")
+		mergeOut = flag.String("merge", "", "merge the process trace files given as arguments into this Chrome trace (uses the board as the shared timeline) and exit")
+		progress = flag.String("progress", "", "additionally serve the live snapshot as JSON on http://ADDR/progress")
+	)
+	flag.Parse()
+	if *board == "" {
+		fmt.Fprintln(os.Stderr, "yosowatch: pass -board ADDR (a boardd server)")
+		os.Exit(2)
+	}
+	switch {
+	case *mergeOut != "":
+		if err := merge(*board, *since, *mergeOut, flag.Args()); err != nil {
+			fmt.Fprintf(os.Stderr, "yosowatch: %v\n", err)
+			os.Exit(1)
+		}
+	case *snapshot:
+		if err := oneShot(*board, *since); err != nil {
+			fmt.Fprintf(os.Stderr, "yosowatch: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		if err := watch(*board, *since, *interval, *progress); err != nil {
+			fmt.Fprintf(os.Stderr, "yosowatch: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// oneShot fetches the board's current contents and prints the derived
+// progress snapshot as JSON.
+func oneShot(addr string, since int) error {
+	entries, err := transport.Fetch(addr, since)
+	if err != nil {
+		return err
+	}
+	m := monitor.New()
+	for _, e := range entries {
+		m.Ingest(e)
+	}
+	buf, err := json.MarshalIndent(m.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", buf)
+	return nil
+}
+
+// merge aligns the given per-process Chrome traces onto the board timeline
+// and writes the combined document.
+func merge(addr string, since int, out string, tracePaths []string) error {
+	if len(tracePaths) == 0 {
+		return fmt.Errorf("-merge needs process trace files as arguments")
+	}
+	entries, err := transport.Fetch(addr, since)
+	if err != nil {
+		return err
+	}
+	procs := make([]monitor.ProcessTrace, 0, len(tracePaths))
+	for _, path := range tracePaths {
+		pt, err := monitor.ReadTraceFile(path)
+		if err != nil {
+			return err
+		}
+		procs = append(procs, pt)
+	}
+	mt, err := monitor.MergeTraces(entries, procs)
+	if err != nil {
+		return err
+	}
+	if err := mt.WriteFile(out); err != nil {
+		return err
+	}
+	fmt.Printf("yosowatch: merged %d process traces + %d board entries into %s\n",
+		len(procs), len(entries), out)
+	for proc, off := range mt.Offsets {
+		fmt.Printf("  clock offset %-12s %+d µs\n", proc, off)
+	}
+	return nil
+}
+
+// watch tails the board live, redrawing the terminal view every interval
+// until interrupted (or serving it over HTTP when progressAddr is set).
+func watch(addr string, since int, interval time.Duration, progressAddr string) error {
+	m := monitor.New()
+	stop, err := m.RunTail(addr, since)
+	if err != nil {
+		return err
+	}
+	if progressAddr != "" {
+		h := telemetry.HandlerWithProgress(nil, nil, func() any { return m.Snapshot() })
+		srv, err := telemetry.ListenAndServe(progressAddr, h)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Printf("yosowatch: progress JSON on http://%s/progress\n", srv.Addr())
+	}
+	fmt.Printf("yosowatch: observing %s from seq %d\n", addr, since)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			s := m.Snapshot()
+			// Clear-and-home so the view redraws in place on ANSI terminals.
+			fmt.Print("\033[H\033[2J")
+			fmt.Printf("yosowatch %s  (seq entries %d)\n", addr, s.Entries)
+			s.WriteText(os.Stdout)
+		case <-sig:
+			err := stop()
+			fmt.Println()
+			m.Snapshot().WriteText(os.Stdout)
+			return err
+		}
+	}
+}

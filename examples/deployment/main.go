@@ -2,7 +2,10 @@
 // runs "overnight" (no inputs needed), every bulletin-board posting is
 // live-mirrored to a boardd auditing service, and when inputs arrive only
 // the O(1)-per-gate online phase runs. A remote observer tails the board
-// concurrently and prints the audit trail's phase totals.
+// concurrently — deriving live protocol progress (committee completion,
+// fail-stop margins) from the mirrored postings alone, exactly what
+// `yosowatch -board <addr>` renders — and prints the audit trail's phase
+// totals.
 package main
 
 import (
@@ -12,6 +15,7 @@ import (
 
 	"yosompc"
 	"yosompc/internal/comm"
+	"yosompc/internal/monitor"
 	"yosompc/internal/transport"
 )
 
@@ -24,7 +28,10 @@ func main() {
 	board := transport.Serve(ln)
 	defer board.Close()
 
-	// A remote observer tails the board as the run proceeds.
+	// A remote observer tails the board as the run proceeds: a progress
+	// monitor reconstructs the protocol's state from the entries, and the
+	// same stream feeds the byte audit.
+	mon := monitor.New()
 	entries, stopTail, err := transport.Tail(board.Addr(), 0)
 	if err != nil {
 		log.Fatal(err)
@@ -34,6 +41,7 @@ func main() {
 	go func() {
 		perPhase := map[string]int64{}
 		for e := range entries {
+			mon.Ingest(e)
 			perPhase[e.Phase] += int64(e.Size)
 		}
 		observed <- perPhase
@@ -70,5 +78,21 @@ func main() {
 	for _, phase := range []string{"setup", "offline", "online"} {
 		fmt.Printf("  %-8s %10d B (local: %d B)\n",
 			phase, perPhase[phase], res.Report.ByPhase[comm.Phase(phase)])
+	}
+
+	// The remote monitor derived the run's progress purely from mirrored
+	// board contents: every committee's manifest arrived before its
+	// members spoke, so the observer knows the run is complete.
+	snap := mon.Snapshot()
+	if !snap.Complete {
+		log.Fatalf("remote monitor should see a complete run: %+v", snap)
+	}
+	fmt.Printf("\nremote monitor: %d/%d expected speakers posted", snap.Posted, snap.Expected)
+	if snap.MarginMin != nil {
+		fmt.Printf(", min fail-stop margin %d", *snap.MarginMin)
+	}
+	fmt.Println()
+	for _, p := range snap.Phases {
+		fmt.Printf("  %-8s %3d/%-3d speakers (complete: %v)\n", p.Phase, p.Posted, p.Expected, p.Complete)
 	}
 }

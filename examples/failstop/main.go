@@ -46,8 +46,12 @@ func main() {
 	fmt.Printf("full packing k=%d, %d crashes:  %v\n", kFull, drop, errOrOK(err))
 
 	// Halved packing with the same crashes: §5.4 says the run survives.
+	// A board monitor watches the run and measures the damage from the
+	// public record alone: which speakers never posted, and how much
+	// fail-stop tolerance each committee has left.
+	mon := yosompc.NewMonitor()
 	res, err = yosompc.Run(yosompc.Config{
-		N: n, T: t, K: kHalf, Backend: yosompc.Sim, FailStops: drop, Seed: 3,
+		N: n, T: t, K: kHalf, Backend: yosompc.Sim, FailStops: drop, Seed: 3, Monitor: mon,
 	}, circ, inputs)
 	if err != nil {
 		log.Fatalf("fail-stop mode should have completed: %v", err)
@@ -55,6 +59,44 @@ func main() {
 	fmt.Printf("half packing k=%d, %d crashes:  outputs %v, online %s (GOD preserved)\n",
 		kHalf, drop, res.Outputs[0][:2], human(res.Report.Phase("online")))
 	fmt.Printf("crashed role-steps tolerated: %d\n", len(res.Excluded))
+
+	// The monitor saw every crash without any in-process hook: each
+	// committee is missing exactly `drop` of its n speakers, and the
+	// remaining margin (tolerated − missing) stayed non-negative — that is
+	// why GOD held. The still-active final committee's missing members
+	// show up as stragglers with their board-time wait.
+	snap := mon.Snapshot()
+	if snap.MarginMin == nil {
+		log.Fatal("monitor saw no committee speak")
+	}
+	quorum := t + 2*(kHalf-1) + 1
+	fmt.Printf("\nboard-derived failure accounting (quorum %d of %d per committee):\n", quorum, n)
+	for _, c := range snap.Committees {
+		fmt.Printf("  %-10s posted %2d/%2d  missing %d  margin %+d\n",
+			c.Committee, c.Posted, c.N, len(c.Missing), c.Margin)
+		if len(c.Missing) != drop {
+			log.Fatalf("monitor should report %d silent members of %s, got %v", drop, c.Committee, c.Missing)
+		}
+		if c.Margin != (n-quorum)-drop {
+			log.Fatalf("committee %s margin = %d, want %d", c.Committee, c.Margin, (n-quorum)-drop)
+		}
+	}
+	fmt.Printf("minimum fail-stop margin: %d more crash(es) per committee were tolerable\n", *snap.MarginMin)
+	if *snap.MarginMin < 0 {
+		log.Fatal("margin went negative yet the run completed")
+	}
+	last := snap.Committees[len(snap.Committees)-1]
+	if len(last.Stragglers) != drop {
+		log.Fatalf("final committee %s should still list %d stragglers, got %+v", last.Committee, drop, last.Stragglers)
+	}
+	fmt.Printf("final committee %s still waiting on: ", last.Committee)
+	for i, st := range last.Stragglers {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Print(st.Role)
+	}
+	fmt.Println(" (confirmed fail-stops once the run ends)")
 }
 
 func human(n int64) string {

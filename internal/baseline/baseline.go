@@ -98,11 +98,15 @@ func New(params Params, circ *circuit.Circuit, meter *comm.Meter) (*Protocol, er
 		return nil, err
 	}
 	board := transport.NewBoard(meter)
+	assign := yoso.NewAssignment(board, params.PKE, params.Adversary)
+	// Unpacked Shamir reconstruction needs t+1 shares, so committee
+	// manifests advertise that quorum for fail-stop margin tracking.
+	assign.Quorum = params.T + 1
 	return &Protocol{
 		params: params,
 		circ:   circ,
 		board:  board,
-		assign: yoso.NewAssignment(board, params.PKE, params.Adversary),
+		assign: assign,
 		auth:   auth,
 	}, nil
 }

@@ -20,6 +20,12 @@ const (
 	PhaseSetup   Phase = "setup"
 	PhaseOffline Phase = "offline"
 	PhaseOnline  Phase = "online"
+	// PhaseSystem carries board metadata that is not protocol traffic —
+	// expected-speaker manifests and other observability records. It is
+	// deliberately outside the three protocol phases so the cost-model
+	// comparisons (which pin setup/offline/online bytes exactly) never see
+	// monitoring overhead.
+	PhaseSystem Phase = "system"
 )
 
 // Category names a message category within a phase.
@@ -40,6 +46,10 @@ const (
 	CatOutput    Category = "client-outputs"
 	CatRoleKeys  Category = "role-keys"
 	CatCRS       Category = "crs"
+	// CatManifest is the expected-speaker manifest a committee former posts
+	// under PhaseSystem before the committee speaks: the public record the
+	// monitor derives progress and fail-stop margins from.
+	CatManifest Category = "progress-manifests"
 )
 
 // Meter accumulates byte counts. The zero value is ready to use and safe

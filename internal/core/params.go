@@ -72,6 +72,12 @@ type Params struct {
 	// histograms (worker-pool utilization, queue depth). Nil disables
 	// metrics at zero cost.
 	Metrics *telemetry.Registry
+	// Proc names the OS process for cross-process correlation: postings
+	// carry it in their trace context (so a shared boardd can attribute
+	// entries) and Chrome trace exports embed it (so monitor.MergeTraces
+	// can align this process's spans onto the board timeline). Empty for
+	// single-process runs.
+	Proc string
 	// NoKFF disables the keys-for-future machinery — the paper's §3.2
 	// "naive" ablation: packed shares stay under tpk through the offline
 	// phase and the first online committee re-encrypts them to the (by

@@ -58,11 +58,16 @@ func New(params Params, circ *circuit.Circuit, meter *comm.Meter) (*Protocol, er
 		return nil, err
 	}
 	board := transport.NewBoard(meter)
+	board.SetProc(params.Proc)
+	assign := yoso.NewAssignment(board, params.PKE, params.Adversary)
+	// Committee manifests advertise the packed reconstruction quorum, so a
+	// board observer knows how many fail-stops each committee tolerates.
+	assign.Quorum = params.ReconstructionThreshold()
 	return &Protocol{
 		params: params,
 		circ:   circ,
 		board:  board,
-		assign: yoso.NewAssignment(board, params.PKE, params.Adversary),
+		assign: assign,
 		auth:   auth,
 		audit:  &Auditor{},
 	}, nil
@@ -307,7 +312,14 @@ func (r *run) logSpan(sp *telemetry.Span, label string, attrs ...any) {
 func (r *run) initTelemetry() {
 	pr := &r.p.params
 	pr.Trace.BindMeter(r.p.board.Meter())
+	// Name the trace export after the process so merged cross-process
+	// views attribute this run's spans (the board already carries Proc on
+	// every posting via SetProc in New).
+	if pr.Proc != "" {
+		pr.Trace.SetProc(pr.Proc)
+	}
 	r.rootSp = pr.Trace.Start("protocol")
+	r.p.board.SetTraceSpan(r.rootSp.ID())
 	r.rootSp.SetInt("n", int64(pr.N))
 	r.rootSp.SetInt("t", int64(pr.T))
 	r.rootSp.SetInt("k", int64(pr.K))
@@ -324,6 +336,9 @@ func (r *run) initTelemetry() {
 // root; step spans child from it until endPhase.
 func (r *run) beginPhase(name string) *telemetry.Span {
 	r.phaseSp = r.rootSp.Child("phase:" + name)
+	// Postings made during the phase carry the phase span's ID in their
+	// trace context, linking board entries back to this trace.
+	r.p.board.SetTraceSpan(r.phaseSp.ID())
 	return r.phaseSp
 }
 
@@ -331,6 +346,7 @@ func (r *run) beginPhase(name string) *telemetry.Span {
 func (r *run) endPhase() {
 	r.phaseSp.End()
 	r.phaseSp = nil
+	r.p.board.SetTraceSpan(r.rootSp.ID())
 }
 
 // stepSpan opens a span under the current phase (or the run root outside
@@ -385,6 +401,11 @@ func (r *run) committeeStep(c *yoso.Committee, phase comm.Phase, cat comm.Catego
 	sp := r.stepSpan("committee:" + label)
 	sp.SetStr("committee", c.Name)
 	sp.SetInt("members", int64(c.N()))
+	// Committee steps run sequentially, so stamping the step span for the
+	// duration attributes every member posting to it; the phase span
+	// resumes when the step ends.
+	r.p.board.SetTraceSpan(sp.ID())
+	defer func() { r.p.board.SetTraceSpan(r.phaseSp.ID()) }()
 	results := make([]*rolePost, c.N())
 	err := parallel.ForWorker(r.ctx, r.workers(), c.N(), func(worker, idx0 int) error {
 		msp := sp.Child("member")

@@ -1,0 +1,218 @@
+package monitor
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"yosompc/internal/transport"
+)
+
+// stampedEntry builds a board entry carrying a poster/receiver stamp pair.
+func stampedEntry(proc string, seq int, postUS, recvUS int64) transport.Entry {
+	return transport.Entry{
+		Seq:      seq,
+		From:     "offB1/1",
+		Phase:    "offline",
+		Category: "beaver-triples",
+		Trace:    transport.TraceContext{Proc: proc, Span: uint64(seq), PostUS: postUS, RecvUS: recvUS},
+		Size:     4,
+		Payload:  []byte{1, 2, 3, 4},
+	}
+}
+
+func TestClockOffsetMedian(t *testing.T) {
+	entries := []transport.Entry{
+		stampedEntry("a", 0, 100, 150), // delta 50
+		stampedEntry("a", 1, 200, 290), // delta 90
+		stampedEntry("a", 2, 300, 370), // delta 70
+		stampedEntry("b", 3, 100, 95),  // proc b, negative skew
+	}
+	off, ok := clockOffset(entries, "a")
+	if !ok || off != 70 {
+		t.Errorf("offset(a) = %d, %v; want median 70", off, ok)
+	}
+	off, ok = clockOffset(entries, "b")
+	if !ok || off != -5 {
+		t.Errorf("offset(b) = %d, %v; want -5", off, ok)
+	}
+	if _, ok := clockOffset(entries, "c"); ok {
+		t.Error("offset for unseen proc should report no samples")
+	}
+}
+
+func TestMergeTracesAligns(t *testing.T) {
+	// Board clock is the reference. Proc a's clock runs 1000µs behind the
+	// board (offset +1000); proc b's runs 500µs ahead (offset −500).
+	entries := []transport.Entry{
+		stampedEntry("a", 0, 9000, 10000),
+		stampedEntry("b", 1, 11500, 11000),
+		stampedEntry("a", 2, 11000, 12000),
+	}
+	procs := []ProcessTrace{
+		{Proc: "a", EpochUS: 8000, Events: []Event{
+			{Name: "offline", Ph: "X", Ts: 500, Dur: 3000, Tid: 1},
+		}},
+		{Proc: "b", EpochUS: 11200, Events: []Event{
+			{Name: "offline", Ph: "X", Ts: 100, Dur: 200, Tid: 1},
+		}},
+	}
+	mt, err := MergeTraces(entries, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Offsets["a"] != 1000 || mt.Offsets["b"] != -500 {
+		t.Fatalf("offsets = %v", mt.Offsets)
+	}
+	if err := mt.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	// Aligned board time of proc a's span start: 8000+500+1000 = 9500,
+	// which is also the earliest instant on the merged timeline (base), so
+	// its merged ts is 0. Board entry 0 lands at 10000−9500 = 500.
+	var aSpan, bSpan *Event
+	var boardTs []int64
+	for i := range mt.Events {
+		ev := &mt.Events[i]
+		if ev.Ph == "X" && ev.Pid == 1 {
+			aSpan = ev
+		}
+		if ev.Ph == "X" && ev.Pid == 2 {
+			bSpan = ev
+		}
+		if ev.Ph == "i" && ev.Pid == 0 {
+			boardTs = append(boardTs, ev.Ts)
+		}
+	}
+	if aSpan == nil || aSpan.Ts != 0 {
+		t.Errorf("proc a span = %+v, want ts 0", aSpan)
+	}
+	// Proc b span: 11200+100−500−9500 = 1300.
+	if bSpan == nil || bSpan.Ts != 1300 {
+		t.Errorf("proc b span = %+v, want ts 1300", bSpan)
+	}
+	want := []int64{500, 1500, 2500}
+	if len(boardTs) != 3 || boardTs[0] != want[0] || boardTs[1] != want[1] || boardTs[2] != want[2] {
+		t.Errorf("board instants = %v, want %v", boardTs, want)
+	}
+}
+
+func TestMergeTracesFailureModes(t *testing.T) {
+	entries := []transport.Entry{stampedEntry("a", 0, 100, 150)}
+	if _, err := MergeTraces(entries, nil); err == nil {
+		t.Error("empty proc list should fail")
+	}
+	if _, err := MergeTraces(entries, []ProcessTrace{{Proc: ""}}); err == nil {
+		t.Error("unnamed trace should fail")
+	}
+	if _, err := MergeTraces(entries, []ProcessTrace{{Proc: "a", EpochUS: 1}, {Proc: "a", EpochUS: 1}}); err == nil {
+		t.Error("duplicate proc should fail")
+	}
+	if _, err := MergeTraces(entries, []ProcessTrace{{Proc: "ghost", EpochUS: 1}}); err == nil {
+		t.Error("proc with no board samples should fail")
+	}
+}
+
+func TestValidateCatchesBadDocuments(t *testing.T) {
+	good := func() *MergedTrace {
+		return &MergedTrace{Events: []Event{
+			{Name: "process_name", Ph: "M", Pid: 0, Args: map[string]any{"name": "board"}},
+			{Name: "post", Ph: "i", Ts: 10, Pid: 0, S: "t"},
+			{Name: "post", Ph: "i", Ts: 20, Pid: 0, S: "t"},
+		}}
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatalf("good doc rejected: %v", err)
+	}
+	bad := good()
+	bad.Events[2].Ts = 5
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "monotone") {
+		t.Errorf("non-monotone board lane not caught: %v", err)
+	}
+	bad = good()
+	bad.Events[1].Ph = "Q"
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "unknown phase kind") {
+		t.Errorf("unknown kind not caught: %v", err)
+	}
+	bad = good()
+	bad.Events[1].Ts = -3
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Errorf("negative ts not caught: %v", err)
+	}
+	bad = good()
+	bad.Events[1].Pid = 7
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "process_name") {
+		t.Errorf("unnamed lane not caught: %v", err)
+	}
+}
+
+func TestReadTraceFileAndWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	// A trace exported by a proc-attributed tracer.
+	doc := map[string]any{
+		"traceEvents": []Event{{Name: "offline", Ph: "X", Ts: 5, Dur: 10, Pid: 1, Tid: 1}},
+		"metadata":    map[string]any{"proc": "a", "epoch_us": 8000},
+	}
+	raw, _ := json.Marshal(doc)
+	path := filepath.Join(dir, "a.trace.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pt, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Proc != "a" || pt.EpochUS != 8000 || len(pt.Events) != 1 {
+		t.Fatalf("parsed = %+v", pt)
+	}
+	// Unattributed traces are rejected with a pointer to the fix.
+	bare, _ := json.Marshal(map[string]any{"traceEvents": []Event{}})
+	barePath := filepath.Join(dir, "bare.trace.json")
+	os.WriteFile(barePath, bare, 0o644)
+	if _, err := ReadTraceFile(barePath); err == nil || !strings.Contains(err.Error(), "SetProc") {
+		t.Errorf("unattributed trace: %v", err)
+	}
+
+	entries := []transport.Entry{stampedEntry("a", 0, 9000, 10000)}
+	mt, err := MergeTraces(entries, []ProcessTrace{pt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "merged.trace.json")
+	if err := mt.WriteFile(out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []Event        `json:"traceEvents"`
+		Metadata    map[string]any `json:"metadata"`
+	}
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("merged doc is not JSON: %v", err)
+	}
+	if parsed.Metadata["merged"] != true {
+		t.Errorf("metadata = %v", parsed.Metadata)
+	}
+	if len(parsed.TraceEvents) < 3 {
+		t.Errorf("merged events = %+v", parsed.TraceEvents)
+	}
+	// WriteFile refuses to persist an invalid document.
+	badDoc := &MergedTrace{Events: []Event{{Name: "x", Ph: "Q"}}}
+	if err := badDoc.WriteFile(filepath.Join(dir, "bad.json")); err == nil {
+		t.Error("invalid doc written without error")
+	}
+
+	var buf bytes.Buffer
+	if _, err := mt.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("WriteTo output is not valid JSON")
+	}
+}

@@ -1,0 +1,230 @@
+package monitor
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Snapshot is the monitor's point-in-time progress document — the JSON
+// body of the /progress endpoint (docs/OBSERVABILITY.md documents the
+// schema). All times are board-clock Unix microseconds.
+type Snapshot struct {
+	// BoardUS is the receive stamp of the latest entry seen.
+	BoardUS int64 `json:"board_us"`
+	// Entries and Bytes count everything ingested, manifests included.
+	Entries int64 `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// Expected and Posted sum speakers over all registered committees;
+	// Fraction is Posted/Expected and Complete is Fraction == 1.
+	Expected int     `json:"expected"`
+	Posted   int     `json:"posted"`
+	Fraction float64 `json:"fraction"`
+	Complete bool    `json:"complete"`
+	// MarginMin is the tightest fail-stop margin over committees that
+	// have started (or finished) speaking: tolerated − missing, where
+	// tolerated = n − quorum. Negative means some committee has lost more
+	// speakers than reconstruction tolerates. Nil until a committee
+	// speaks.
+	MarginMin *int `json:"margin_min,omitempty"`
+	// Unexpected counts speaker-shaped posts with no registered
+	// committee — a manifest gap or a misbehaving poster.
+	Unexpected int64 `json:"unexpected,omitempty"`
+
+	Phases     []PhaseProgress   `json:"phases,omitempty"`
+	Committees []CommitteeStatus `json:"committees,omitempty"`
+	Infra      []InfraStatus     `json:"infra,omitempty"`
+}
+
+// PhaseProgress aggregates the committees whose speeches belong to one
+// protocol phase, in first-manifest order.
+type PhaseProgress struct {
+	Phase    string  `json:"phase"`
+	Expected int     `json:"expected"`
+	Posted   int     `json:"posted"`
+	Fraction float64 `json:"fraction"`
+	Complete bool    `json:"complete"`
+}
+
+// CommitteeStatus is one committee's progress.
+type CommitteeStatus struct {
+	// Proc is the posting process ("" for a single-board run).
+	Proc      string `json:"proc,omitempty"`
+	Committee string `json:"committee"`
+	Phase     string `json:"phase"`
+	N         int    `json:"n"`
+	Quorum    int    `json:"quorum"`
+	Posted    int    `json:"posted"`
+	// Tolerated is the fail-stop budget n − quorum; Margin is
+	// Tolerated − len(Missing), meaningful once the committee is active.
+	Tolerated int `json:"tolerated"`
+	Margin    int `json:"margin"`
+	// Active means at least one member has spoken; Settled means a later
+	// committee of the same process began speaking, so missing members
+	// are confirmed fail-stops rather than stragglers.
+	Active  bool `json:"active"`
+	Settled bool `json:"settled"`
+	// Missing lists expected speakers not yet seen. While the committee
+	// is active but unsettled they are also reported as Stragglers with
+	// the time the board has been waiting on them.
+	Missing    []string    `json:"missing,omitempty"`
+	Stragglers []Straggler `json:"stragglers,omitempty"`
+	Bytes      int64       `json:"bytes"`
+	Posts      int64       `json:"posts"`
+	FirstUS    int64       `json:"first_us,omitempty"`
+	LastUS     int64       `json:"last_us,omitempty"`
+	// RateBps is the committee's posting throughput (bytes per second)
+	// over its active window, 0 when the window is a single instant.
+	RateBps float64 `json:"rate_bps,omitempty"`
+}
+
+// Straggler is one expected speaker the board is still waiting on.
+type Straggler struct {
+	Role string `json:"role"`
+	// WaitUS is board time elapsed between the committee starting to
+	// speak and the latest entry seen — how long the role has kept the
+	// protocol waiting.
+	WaitUS int64 `json:"wait_us"`
+}
+
+// InfraStatus aggregates a non-committee poster class (setup,
+// setup-dealer, role-assignment, client).
+type InfraStatus struct {
+	Proc  string `json:"proc,omitempty"`
+	Class string `json:"class"`
+	Posts int64  `json:"posts"`
+	Bytes int64  `json:"bytes"`
+}
+
+// Snapshot renders the current state. A nil monitor returns the zero
+// snapshot.
+func (m *Monitor) Snapshot() Snapshot {
+	var s Snapshot
+	if m == nil {
+		return s
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s.BoardUS = m.lastUS
+	s.Entries = m.entries
+	s.Bytes = m.bytes
+	s.Unexpected = m.unexpected
+
+	phaseIdx := map[string]int{}
+	for _, c := range m.order {
+		posted := len(c.posted)
+		cs := CommitteeStatus{
+			Proc:      c.proc,
+			Committee: c.name,
+			Phase:     c.phase,
+			N:         c.n,
+			Quorum:    c.quorum,
+			Posted:    posted,
+			Tolerated: c.n - c.quorum,
+			Margin:    c.n - c.quorum - (c.n - posted),
+			Active:    posted > 0,
+			Settled:   c.settled,
+			Bytes:     c.bytes,
+			Posts:     c.posts,
+			FirstUS:   c.firstUS,
+			LastUS:    c.lastUS,
+		}
+		if window := c.lastUS - c.firstUS; window > 0 {
+			cs.RateBps = float64(c.bytes) / (float64(window) / 1e6)
+		}
+		for i := 1; i <= c.n; i++ {
+			if c.posted[i] == nil {
+				cs.Missing = append(cs.Missing, fmt.Sprintf("%s/%d", c.name, i))
+			}
+		}
+		if cs.Active && !cs.Settled {
+			wait := m.lastUS - c.firstUS
+			for _, role := range cs.Missing {
+				cs.Stragglers = append(cs.Stragglers, Straggler{Role: role, WaitUS: wait})
+			}
+		}
+		if cs.Active || cs.Settled {
+			if s.MarginMin == nil || cs.Margin < *s.MarginMin {
+				margin := cs.Margin
+				s.MarginMin = &margin
+			}
+		}
+		s.Expected += c.n
+		s.Posted += posted
+
+		pi, ok := phaseIdx[c.phase]
+		if !ok {
+			pi = len(s.Phases)
+			phaseIdx[c.phase] = pi
+			s.Phases = append(s.Phases, PhaseProgress{Phase: c.phase})
+		}
+		s.Phases[pi].Expected += c.n
+		s.Phases[pi].Posted += posted
+
+		s.Committees = append(s.Committees, cs)
+	}
+	for i := range s.Phases {
+		p := &s.Phases[i]
+		if p.Expected > 0 {
+			p.Fraction = float64(p.Posted) / float64(p.Expected)
+		}
+		p.Complete = p.Posted == p.Expected && p.Expected > 0
+	}
+	if s.Expected > 0 {
+		s.Fraction = float64(s.Posted) / float64(s.Expected)
+	}
+	s.Complete = s.Expected > 0 && s.Posted == s.Expected
+	for _, st := range m.sortedInfra() {
+		s.Infra = append(s.Infra, InfraStatus{Proc: st.proc, Class: st.class, Posts: st.posts, Bytes: st.bytes})
+	}
+	return s
+}
+
+// bar renders a fixed-width completion bar.
+func bar(fraction float64, width int) string {
+	filled := int(fraction * float64(width))
+	if filled > width {
+		filled = width
+	}
+	return strings.Repeat("█", filled) + strings.Repeat("░", width-filled)
+}
+
+// WriteText renders the snapshot as the live terminal view used by
+// yosowatch and yosompc -monitor.
+func (s Snapshot) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "progress %5.1f%%  speakers %d/%d  entries %d  bytes %d",
+		100*s.Fraction, s.Posted, s.Expected, s.Entries, s.Bytes)
+	if s.MarginMin != nil {
+		fmt.Fprintf(w, "  min-margin %d", *s.MarginMin)
+	}
+	fmt.Fprintln(w)
+	for _, p := range s.Phases {
+		fmt.Fprintf(w, "  %-8s %s %4d/%-4d\n", p.Phase, bar(p.Fraction, 20), p.Posted, p.Expected)
+	}
+	for _, c := range s.Committees {
+		state := "forming"
+		switch {
+		case c.Settled && c.Posted == c.N:
+			state = "done"
+		case c.Settled:
+			state = fmt.Sprintf("done, %d fail-stopped", len(c.Missing))
+		case c.Active:
+			state = "speaking"
+		}
+		name := c.Committee
+		if c.Proc != "" {
+			name = c.Proc + ":" + c.Committee
+		}
+		fmt.Fprintf(w, "  %-22s %3d/%-3d margin %+d  %s\n", name, c.Posted, c.N, c.Margin, state)
+		for _, st := range c.Stragglers {
+			fmt.Fprintf(w, "    waiting on %-18s %8.1f ms\n", st.Role, float64(st.WaitUS)/1e3)
+		}
+	}
+	for _, inf := range s.Infra {
+		name := inf.Class
+		if inf.Proc != "" {
+			name = inf.Proc + ":" + inf.Class
+		}
+		fmt.Fprintf(w, "  %-22s %3d posts, %d B\n", name, inf.Posts, inf.Bytes)
+	}
+}

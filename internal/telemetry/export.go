@@ -33,10 +33,14 @@ type chromeEvent struct {
 	Args map[string]any `json:"args,omitempty"`
 }
 
-// chromeDoc is the JSON-object trace container.
+// chromeDoc is the JSON-object trace container. Metadata carries the
+// process name and tracer epoch (Unix µs) when the tracer is
+// process-attributed — the fields the cross-process trace merge reads
+// back to place this document on the board's shared timeline.
 type chromeDoc struct {
-	TraceEvents     []chromeEvent `json:"traceEvents"`
-	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	Metadata        map[string]any `json:"metadata,omitempty"`
 }
 
 // WriteChromeTrace writes the spans as a Chrome trace_event document.
@@ -45,6 +49,9 @@ type chromeDoc struct {
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	spans := t.Spans()
 	doc := chromeDoc{TraceEvents: make([]chromeEvent, 0, len(spans)), DisplayTimeUnit: "ms"}
+	if proc := t.Proc(); proc != "" {
+		doc.Metadata = map[string]any{"proc": proc, "epoch_us": t.EpochMicros()}
+	}
 	for _, rec := range spans {
 		ev := chromeEvent{
 			Name: rec.Name,

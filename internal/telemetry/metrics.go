@@ -193,12 +193,47 @@ type Snapshot struct {
 }
 
 // HistSnap is one histogram's snapshot: Counts[i] observations at or
-// below Bounds[i], with Counts[len(Bounds)] the overflow bucket.
+// below Bounds[i], with Counts[len(Bounds)] the overflow bucket. P50/P95/
+// P99 are bucket-interpolated quantile estimates (see Quantile) rendered
+// alongside the raw buckets so /metrics is readable without
+// post-processing; they are 0 when the histogram is empty.
 type HistSnap struct {
 	Count  int64     `json:"count"`
 	Sum    float64   `json:"sum"`
+	P50    float64   `json:"p50"`
+	P95    float64   `json:"p95"`
+	P99    float64   `json:"p99"`
 	Bounds []float64 `json:"bounds"`
 	Counts []int64   `json:"counts"`
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) by linear interpolation
+// inside the bucket holding the target rank, the standard fixed-bucket
+// estimate. The first bucket interpolates from 0; a rank landing in the
+// unbounded overflow bucket is clamped to the last finite bound. An empty
+// snapshot returns 0.
+func (h HistSnap) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	for i, c := range h.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		return lo + (h.Bounds[i]-lo)*(rank-prev)/float64(c)
+	}
+	return h.Bounds[len(h.Bounds)-1]
 }
 
 // Snapshot copies every metric's current value. Concurrent updates keep
@@ -235,6 +270,9 @@ func (r *Registry) Snapshot() Snapshot {
 			for i := range h.counts {
 				hs.Counts[i] = atomic.LoadInt64(&h.counts[i])
 			}
+			hs.P50 = hs.Quantile(0.50)
+			hs.P95 = hs.Quantile(0.95)
+			hs.P99 = hs.Quantile(0.99)
 			s.Histograms[n] = hs
 		}
 	}

@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// A process-attributed tracer stamps its Chrome export with the metadata
+// the cross-process trace merge reads back: the process name and the
+// tracer epoch in Unix microseconds.
+func TestChromeTraceProcMetadata(t *testing.T) {
+	tr := NewTracer()
+	tr.SetProc("client-a")
+	sp := tr.Start("phase:setup")
+	sp.End()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metadata struct {
+			Proc    string `json:"proc"`
+			EpochUS int64  `json:"epoch_us"`
+		} `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Metadata.Proc != "client-a" {
+		t.Errorf("metadata proc = %q", doc.Metadata.Proc)
+	}
+	if doc.Metadata.EpochUS != tr.EpochMicros() || doc.Metadata.EpochUS <= 0 {
+		t.Errorf("metadata epoch_us = %d, tracer epoch %d", doc.Metadata.EpochUS, tr.EpochMicros())
+	}
+
+	// Without SetProc the document shape is unchanged (no metadata key).
+	plain := NewTracer()
+	plain.Start("x").End()
+	buf.Reset()
+	if err := plain.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("metadata")) {
+		t.Error("unattributed tracer emitted metadata")
+	}
+}
+
+func TestTracerProcNilSafety(t *testing.T) {
+	var tr *Tracer
+	tr.SetProc("x") // must not panic
+	if tr.Proc() != "" || tr.EpochMicros() != 0 {
+		t.Errorf("nil tracer proc/epoch = %q, %d", tr.Proc(), tr.EpochMicros())
+	}
+}

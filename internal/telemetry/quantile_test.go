@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestHistogramQuantiles pins the bucket-interpolated quantile estimates
+// and their exact JSON rendering in /metrics snapshots.
+func TestHistogramQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q", []float64{10, 20})
+	for i := 0; i < 5; i++ {
+		h.Observe(5) // first bucket (≤10)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(15) // second bucket (10, 20]
+	}
+	hs := reg.Snapshot().Histograms["q"]
+	if hs.P50 != 10 || hs.P95 != 19 || hs.P99 != 19.8 {
+		t.Errorf("quantiles = p50 %v, p95 %v, p99 %v; want 10, 19, 19.8", hs.P50, hs.P95, hs.P99)
+	}
+	// Snapshot test: the quantile summary lines are part of the /metrics
+	// document shape; this is the committed rendering.
+	got, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"histograms":{"q":{"count":10,"sum":100,"p50":10,"p95":19,"p99":19.8,"bounds":[10,20],"counts":[5,5,0]}}}`
+	if string(got) != want {
+		t.Errorf("snapshot JSON:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	if got := (HistSnap{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty snapshot quantile = %v, want 0", got)
+	}
+	// Every observation in the unbounded overflow bucket: the estimate is
+	// clamped to the last finite bound rather than invented.
+	over := HistSnap{Count: 5, Bounds: []float64{10}, Counts: []int64{0, 5}}
+	if got := over.Quantile(0.5); got != 10 {
+		t.Errorf("overflow-only quantile = %v, want 10 (clamped)", got)
+	}
+	// A single observation interpolates inside its bucket.
+	one := HistSnap{Count: 1, Bounds: []float64{8}, Counts: []int64{1, 0}}
+	if got := one.Quantile(1); got != 8 {
+		t.Errorf("single-observation p100 = %v, want 8", got)
+	}
+}

@@ -39,6 +39,7 @@ type Tracer struct {
 	mu    sync.Mutex
 	done  []SpanRecord
 	meter *comm.Meter
+	proc  string
 }
 
 // NewTracer returns an empty tracer whose span timestamps are offsets
@@ -57,6 +58,38 @@ func (t *Tracer) BindMeter(m *comm.Meter) {
 	t.mu.Lock()
 	t.meter = m
 	t.mu.Unlock()
+}
+
+// SetProc names the OS process this tracer belongs to. The name and the
+// tracer epoch land in the Chrome export's metadata, which is what lets a
+// trace merge correlate spans from different processes via the board's
+// shared timeline.
+func (t *Tracer) SetProc(proc string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.proc = proc
+	t.mu.Unlock()
+}
+
+// Proc returns the configured process name ("" on nil or when unset).
+func (t *Tracer) Proc() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.proc
+}
+
+// EpochMicros returns the tracer epoch as Unix microseconds (0 on nil):
+// span StartUS offsets plus this epoch are absolute poster-clock times.
+func (t *Tracer) EpochMicros() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.epoch.UnixMicro()
 }
 
 // Start opens a root span. On a nil tracer it returns nil, and every

@@ -11,6 +11,8 @@ package transport
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"yosompc/internal/comm"
 	"yosompc/internal/telemetry"
@@ -25,6 +27,11 @@ type Posting struct {
 	// Phase and Category attribute the bytes for reporting.
 	Phase    comm.Phase
 	Category comm.Category
+	// Trace is the correlation record stamped at Post time: the board's
+	// process name and current span (SetProc / SetTraceSpan) plus the
+	// posting timestamp. For the in-process board the post and receive
+	// clocks coincide, so PostUS == RecvUS.
+	Trace TraceContext
 	// Size is the metered wire size in bytes — always len(Bytes).
 	Size int
 	// Bytes is the message's binary encoding, the authoritative wire
@@ -41,6 +48,11 @@ type Board struct {
 	postings  []Posting
 	meter     *comm.Meter
 	observers []func(Posting)
+
+	// Trace-context state stamped onto postings. proc is set once before
+	// traffic; span follows the protocol's open phase/step span.
+	proc string
+	span atomic.Uint64
 
 	// Telemetry instruments; nil (no-op, zero cost) until Instrument is
 	// called.
@@ -68,6 +80,21 @@ func NewBoard(meter *comm.Meter) *Board {
 	return &Board{meter: meter}
 }
 
+// SetProc names the OS process this board belongs to; postings (and any
+// mirror forwarding them) carry it in their trace context so a shared
+// boardd can tell concurrent runs apart. Set it before the board takes
+// traffic.
+func (b *Board) SetProc(proc string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.proc = proc
+}
+
+// SetTraceSpan records the telemetry span ID subsequent postings are
+// attributed to — the protocol driver stamps the open phase or committee
+// step span here. Zero clears the attribution.
+func (b *Board) SetTraceSpan(id uint64) { b.span.Store(id) }
+
 // Post appends a posting carrying the message's binary encoding and meters
 // the measured encoded length — the posting's Size is len(wire) by
 // construction, never a caller claim. The caller must not modify wire
@@ -78,9 +105,15 @@ func (b *Board) Post(from string, phase comm.Phase, cat comm.Category, wire []by
 	b.meter.Add(phase, cat, size)
 	b.postCount.Inc()
 	b.postBytes.Observe(float64(size))
+	tc := TraceContext{Span: b.span.Load()}
 	b.mu.Lock()
+	// Stamped under the append lock so timestamps are monotone with Seq;
+	// the in-process board's post and receive clocks coincide.
+	now := time.Now().UnixMicro()
+	tc.PostUS, tc.RecvUS = now, now
+	tc.Proc = b.proc
 	seq := len(b.postings)
-	p := Posting{Seq: seq, From: from, Phase: phase, Category: cat, Size: size, Bytes: wire, Payload: payload}
+	p := Posting{Seq: seq, From: from, Phase: phase, Category: cat, Trace: tc, Size: size, Bytes: wire, Payload: payload}
 	b.postings = append(b.postings, p)
 	observers := b.observers
 	b.mu.Unlock()

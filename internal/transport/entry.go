@@ -12,7 +12,7 @@ import (
 // the real encoded payload bytes. Layout (big-endian, docs/WIRE.md):
 //
 //	u8 version | u32 seq | str8 from | str8 phase | str8 category |
-//	u32 payload len | payload
+//	trace context | u32 payload len | payload
 //
 // Size is derived — always len(Payload) — and is therefore measured, not
 // claimed; it is kept as a field so auditors and the CLI read one number.
@@ -21,6 +21,9 @@ type Entry struct {
 	From     string
 	Phase    string
 	Category string
+	// Trace is the cross-process correlation record: posting process,
+	// open span, and the post/receive timestamps (see TraceContext).
+	Trace TraceContext
 	// Size is the measured payload length in bytes, len(Payload).
 	Size int
 	// Payload is the message's binary encoding.
@@ -29,7 +32,8 @@ type Entry struct {
 
 // EncodedSize returns the exact encoded length in bytes.
 func (e Entry) EncodedSize() int {
-	return 1 + 4 + 1 + len(e.From) + 1 + len(e.Phase) + 1 + len(e.Category) + 4 + len(e.Payload)
+	return 1 + 4 + 1 + len(e.From) + 1 + len(e.Phase) + 1 + len(e.Category) +
+		e.Trace.EncodedSize() + 4 + len(e.Payload)
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler.
@@ -40,6 +44,7 @@ func (e Entry) MarshalBinary() ([]byte, error) {
 	out = wire.AppendString8(out, e.From)
 	out = wire.AppendString8(out, e.Phase)
 	out = wire.AppendString8(out, e.Category)
+	out = e.Trace.appendTo(out)
 	return wire.AppendBytes32(out, e.Payload), nil
 }
 
@@ -68,6 +73,11 @@ func (e *Entry) UnmarshalBinary(data []byte) error {
 	if err != nil {
 		return err
 	}
+	var tc TraceContext
+	rest, err = tc.consume(rest)
+	if err != nil {
+		return err
+	}
 	payload, rest, err := wire.Bytes32(rest)
 	if err != nil {
 		return err
@@ -75,7 +85,7 @@ func (e *Entry) UnmarshalBinary(data []byte) error {
 	if len(rest) != 0 {
 		return fmt.Errorf("%w: %d trailing bytes after entry", wire.ErrMalformed, len(rest))
 	}
-	*e = Entry{Seq: int(seq), From: from, Phase: phase, Category: cat, Size: len(payload), Payload: payload}
+	*e = Entry{Seq: int(seq), From: from, Phase: phase, Category: cat, Trace: tc, Size: len(payload), Payload: payload}
 	return nil
 }
 
@@ -122,12 +132,18 @@ func (e *Entry) ReadFrom(r io.Reader) (int64, error) {
 	if err != nil {
 		return fail(0, err)
 	}
+	var tc TraceContext
+	m64, err := tc.ReadFrom(r)
+	n += int(m64)
+	if err != nil {
+		return fail(0, err)
+	}
 	payload, m, err := wire.ReadBytes32(r)
 	n += m
 	if err != nil {
 		return fail(0, err)
 	}
-	*e = Entry{Seq: int(seq), From: from, Phase: phase, Category: cat, Size: len(payload), Payload: payload}
+	*e = Entry{Seq: int(seq), From: from, Phase: phase, Category: cat, Trace: tc, Size: len(payload), Payload: payload}
 	return int64(n), nil
 }
 

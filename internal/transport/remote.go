@@ -22,22 +22,28 @@ import (
 // version byte and an opcode:
 //
 //	post: ver | 0x01 | str8 from | str8 phase | str8 category |
-//	      u32 claimed size | u32 payload len | payload
+//	      trace context | u32 claimed size | u32 payload len | payload
 //	  → ver | status (0 ok: u32 seq; 1 err: u32 len | message)
 //	tail: ver | 0x02 | u32 since
 //	  → a stream of Entry frames, first the backlog from `since`, then
 //	    live posts, until either side closes
+//	dump: ver | 0x03 | u32 since
+//	  → ver | u32 count | count × Entry — a one-shot snapshot, then the
+//	    connection stays usable for further requests
 //
 // The payload is the message's real binary encoding; the server meters the
 // *measured* payload length and rejects posts whose claimed size disagrees,
-// so a poster cannot influence the byte accounting by lying. A Mirror
-// forwards an in-process run's postings — bytes included — to a Server as
-// they happen.
+// so a poster cannot influence the byte accounting by lying. The trace
+// context travels with the post, but its RecvUS field is authoritative
+// only after the server overwrites it with its own receive clock — the
+// shared timeline trace merging aligns against. A Mirror forwards an
+// in-process run's postings — bytes included — to a Server as they happen.
 
 // Protocol opcodes.
 const (
 	opPost byte = 0x01
 	opTail byte = 0x02
+	opDump byte = 0x03
 )
 
 // Post response statuses.
@@ -64,11 +70,12 @@ type Server struct {
 	ln    net.Listener
 	meter *comm.Meter
 
-	mu      sync.Mutex
-	entries []Entry
-	subs    map[*subscriber]struct{}
-	conns   map[net.Conn]struct{}
-	closed  bool
+	mu        sync.Mutex
+	entries   []Entry
+	subs      map[*subscriber]struct{}
+	conns     map[net.Conn]struct{}
+	observers []func(Entry)
+	closed    bool
 
 	// Telemetry instruments, nil (no-op, zero cost) until Instrument is
 	// called. Time is only read when the corresponding histogram is set.
@@ -179,6 +186,15 @@ func (s *Server) Entries(since int) []Entry {
 // size in it was measured from real payload bytes.
 func (s *Server) Report() comm.Report { return s.meter.Report() }
 
+// Observe registers a callback invoked synchronously after every accepted
+// post — the hook an in-server monitor attaches to (boardd's /progress).
+// Callbacks must be fast and must not post back to the server.
+func (s *Server) Observe(fn func(Entry)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observers = append(s.observers, fn)
+}
+
 // Close stops accepting connections, terminates tailers and waits for all
 // handlers to exit.
 func (s *Server) Close() error {
@@ -241,6 +257,14 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			s.tail(conn, bw, int(since))
 			return // tail owns the connection until shutdown
+		case opDump:
+			since, _, err := wire.ReadUint32(br)
+			if err != nil {
+				return
+			}
+			if !s.dump(bw, int(since)) {
+				return
+			}
 		default:
 			s.writeErr(bw, fmt.Sprintf("unknown op %d", hdr[1]))
 			return
@@ -251,6 +275,7 @@ func (s *Server) handle(conn net.Conn) {
 // postRequest is a decoded post frame.
 type postRequest struct {
 	from, phase, category string
+	trace                 TraceContext
 	claimed               int
 	payload               []byte
 }
@@ -267,6 +292,9 @@ func readPostRequest(br *bufio.Reader) (postRequest, error) {
 	if req.category, _, err = wire.ReadString8(br); err != nil {
 		return req, fmt.Errorf("reading category: %w", err)
 	}
+	if _, err = req.trace.ReadFrom(br); err != nil {
+		return req, fmt.Errorf("reading trace context: %w", err)
+	}
 	claimed, _, err := wire.ReadUint32(br)
 	if err != nil {
 		return req, fmt.Errorf("reading claimed size: %w", err)
@@ -276,6 +304,23 @@ func readPostRequest(br *bufio.Reader) (postRequest, error) {
 		return req, fmt.Errorf("reading payload: %w", err)
 	}
 	return req, nil
+}
+
+// dump writes a one-shot snapshot response: ver | u32 count | Entry×count.
+func (s *Server) dump(bw *bufio.Writer, since int) bool {
+	entries := s.Entries(since)
+	hdr := make([]byte, 0, 5)
+	hdr = append(hdr, wire.Version)
+	hdr = wire.AppendUint32(hdr, uint32(len(entries)))
+	if _, err := bw.Write(hdr); err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if _, err := e.WriteTo(bw); err != nil {
+			return false
+		}
+	}
+	return bw.Flush() == nil
 }
 
 func (s *Server) writeOK(bw *bufio.Writer, seq int) bool {
@@ -315,12 +360,17 @@ func (s *Server) post(req postRequest) (int, error) {
 	size := len(req.payload)
 	s.meter.Add(comm.Phase(req.phase), comm.Category(req.category), size)
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	// The server's receive clock is the shared timeline every poster's
+	// trace aligns against; the client-stamped RecvUS (if any) is
+	// overwritten, never trusted. Stamping under the append lock keeps
+	// receive times monotone with sequence numbers.
+	req.trace.RecvUS = time.Now().UnixMicro()
 	e := Entry{
 		Seq:      len(s.entries),
 		From:     req.from,
 		Phase:    req.phase,
 		Category: req.category,
+		Trace:    req.trace,
 		Size:     size,
 		Payload:  req.payload,
 	}
@@ -334,6 +384,11 @@ func (s *Server) post(req postRequest) (int, error) {
 			// loop re-syncs from the entry log before delivering more.
 			sub.gapped = true
 		}
+	}
+	observers := s.observers
+	s.mu.Unlock()
+	for _, fn := range observers {
+		fn(e)
 	}
 	s.postCount.Inc()
 	s.postBytes.Observe(float64(size))
@@ -464,14 +519,24 @@ func Dial(addr string) (*Client, error) {
 // Post publishes one entry carrying the message's binary encoding and
 // returns its assigned sequence number. The claimed size the frame carries
 // is len(payload); the server re-measures and rejects any disagreement.
+// The trace context carries only the poster's send time; use PostCtx to
+// attribute the post to a process and span.
 func (c *Client) Post(from string, phase comm.Phase, cat comm.Category, payload []byte) (int, error) {
+	return c.PostCtx(from, phase, cat, payload, TraceContext{PostUS: time.Now().UnixMicro()})
+}
+
+// PostCtx is Post with an explicit trace context — the poster's process
+// name, open span and send time travel with the entry; the server
+// overwrites RecvUS with its own receive clock.
+func (c *Client) PostCtx(from string, phase comm.Phase, cat comm.Category, payload []byte, tc TraceContext) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	buf := make([]byte, 0, 2+1+len(from)+1+len(phase)+1+len(cat)+8+len(payload))
+	buf := make([]byte, 0, 2+1+len(from)+1+len(phase)+1+len(cat)+tc.EncodedSize()+8+len(payload))
 	buf = append(buf, wire.Version, opPost)
 	buf = wire.AppendString8(buf, from)
 	buf = wire.AppendString8(buf, string(phase))
 	buf = wire.AppendString8(buf, string(cat))
+	buf = tc.appendTo(buf)
 	buf = wire.AppendUint32(buf, uint32(len(payload)))
 	buf = wire.AppendBytes32(buf, payload)
 	//yosolint:blocking c.mu serializes the request/response pair on the single connection; blocking under it is the framing protocol
@@ -514,6 +579,53 @@ func (c *Client) readPostResponse() (int, error) {
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
+
+// Fetch dials addr and returns a one-shot snapshot of the board's entries
+// from sequence `since` — the dump counterpart of the streaming Tail, used
+// by trace merging and monitor snapshots.
+func Fetch(addr string, since int) ([]Entry, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dialing board %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if since < 0 {
+		since = 0
+	}
+	req := make([]byte, 0, 6)
+	req = append(req, wire.Version, opDump)
+	req = wire.AppendUint32(req, uint32(since))
+	if _, err := conn.Write(req); err != nil {
+		return nil, fmt.Errorf("transport: requesting dump: %w", err)
+	}
+	br := bufio.NewReader(conn)
+	var ver [1]byte
+	if _, err := io.ReadFull(br, ver[:]); err != nil {
+		return nil, fmt.Errorf("transport: reading dump response: %w", err)
+	}
+	if ver[0] != wire.Version {
+		return nil, fmt.Errorf("transport: dump response version %d, want %d", ver[0], wire.Version)
+	}
+	count, _, err := wire.ReadUint32(br)
+	if err != nil {
+		return nil, fmt.Errorf("transport: reading dump count: %w", err)
+	}
+	if count > wire.MaxLen {
+		return nil, fmt.Errorf("%w: dump count %d exceeds limit", wire.ErrMalformed, count)
+	}
+	entries := make([]Entry, 0, count)
+	for i := 0; i < int(count); i++ {
+		var e Entry
+		if _, err := e.ReadFrom(br); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, fmt.Errorf("transport: reading dump entry %d/%d: %w", i, count, err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
 
 // Tail opens a streaming subscription from sequence `since`, delivering
 // entries on the returned channel until the connection or server closes.
@@ -608,7 +720,10 @@ func AttachMirror(board *Board, addr string) (*Mirror, error) {
 	}
 	m := &Mirror{client: client}
 	board.Observe(func(p Posting) {
-		if _, err := m.client.Post(p.From, p.Phase, p.Category, p.Bytes); err != nil {
+		// Forward the local board's trace stamp so the remote entry keeps
+		// the poster's process, span and send time; the server replaces
+		// RecvUS with its own clock.
+		if _, err := m.client.PostCtx(p.From, p.Phase, p.Category, p.Bytes, p.Trace); err != nil {
 			m.errs.Add(1)
 			m.errCount.Inc()
 			m.logOnce.Do(func() {

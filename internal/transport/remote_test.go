@@ -64,6 +64,8 @@ func rawPostFrame(from, phase, cat string, claimed int, payload []byte) []byte {
 	buf = wire.AppendString8(buf, from)
 	buf = wire.AppendString8(buf, phase)
 	buf = wire.AppendString8(buf, cat)
+	tc, _ := TraceContext{}.MarshalBinary()
+	buf = append(buf, tc...)
 	buf = wire.AppendUint32(buf, uint32(claimed))
 	return wire.AppendBytes32(buf, payload)
 }

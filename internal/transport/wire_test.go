@@ -11,23 +11,29 @@ import (
 
 // TestEntryGoldenWire pins the committed byte-exact frame layout
 // (docs/WIRE.md): u8 version | u32 seq | str8 from | str8 phase |
-// str8 category | u32 payload len | payload. Changing any of these bytes
-// is a wire-format break and must bump wire.Version.
+// str8 category | trace context | u32 payload len | payload. Changing any
+// of these bytes is a wire-format break and must bump wire.Version (v2
+// added the trace-context field).
 func TestEntryGoldenWire(t *testing.T) {
 	e := Entry{
 		Seq:      7,
 		From:     "off1/3",
 		Phase:    "offline",
 		Category: "beaver",
+		Trace:    TraceContext{Proc: "p1", Span: 9, PostUS: 1000, RecvUS: 1500},
 		Size:     4,
 		Payload:  []byte{0xde, 0xad, 0xbe, 0xef},
 	}
 	golden := []byte{
-		0x01,                   // version
+		0x02,                   // version
 		0x00, 0x00, 0x00, 0x07, // seq
 		0x06, 'o', 'f', 'f', '1', '/', '3', // from
 		0x07, 'o', 'f', 'f', 'l', 'i', 'n', 'e', // phase
 		0x06, 'b', 'e', 'a', 'v', 'e', 'r', // category
+		0x02, 'p', '1', // trace: proc
+		0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x09, // trace: span
+		0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x03, 0xe8, // trace: post_us
+		0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x05, 0xdc, // trace: recv_us
 		0x00, 0x00, 0x00, 0x04, // payload length
 		0xde, 0xad, 0xbe, 0xef, // payload
 	}
@@ -46,7 +52,8 @@ func TestEntryGoldenWire(t *testing.T) {
 		t.Fatal(err)
 	}
 	if dec.Seq != 7 || dec.From != "off1/3" || dec.Phase != "offline" ||
-		dec.Category != "beaver" || dec.Size != 4 || !bytes.Equal(dec.Payload, e.Payload) {
+		dec.Category != "beaver" || dec.Trace != e.Trace ||
+		dec.Size != 4 || !bytes.Equal(dec.Payload, e.Payload) {
 		t.Errorf("decoded = %+v", dec)
 	}
 }
@@ -54,7 +61,9 @@ func TestEntryGoldenWire(t *testing.T) {
 func TestEntryStreamRoundTrip(t *testing.T) {
 	in := []Entry{
 		{Seq: 0, From: "a", Phase: "setup", Category: "crs", Size: 0, Payload: nil},
-		{Seq: 1, From: "off1/1", Phase: "offline", Category: "lambda", Size: 3, Payload: []byte{1, 2, 3}},
+		{Seq: 1, From: "off1/1", Phase: "offline", Category: "lambda",
+			Trace: TraceContext{Proc: "proc-a", Span: 17, PostUS: 12345, RecvUS: 12399},
+			Size:  3, Payload: []byte{1, 2, 3}},
 		{Seq: 2, From: "on/4", Phase: "online", Category: "mu", Size: 1, Payload: []byte{9}},
 	}
 	var buf bytes.Buffer
@@ -68,8 +77,8 @@ func TestEntryStreamRoundTrip(t *testing.T) {
 		if _, err := got.ReadFrom(&buf); err != nil {
 			t.Fatalf("entry %d: %v", i, err)
 		}
-		if got.Seq != want.Seq || got.From != want.From || got.Size != want.Size ||
-			!bytes.Equal(got.Payload, want.Payload) {
+		if got.Seq != want.Seq || got.From != want.From || got.Trace != want.Trace ||
+			got.Size != want.Size || !bytes.Equal(got.Payload, want.Payload) {
 			t.Errorf("entry %d = %+v, want %+v", i, got, want)
 		}
 	}
@@ -83,7 +92,7 @@ func TestEntryDecodeRejectsMalformed(t *testing.T) {
 	good, _ := Entry{Seq: 1, From: "r", Phase: "online", Category: "mu", Size: 2, Payload: []byte{1, 2}}.MarshalBinary()
 	cases := map[string][]byte{
 		"empty":         {},
-		"wrong version": append([]byte{0x02}, good[1:]...),
+		"wrong version": append([]byte{0x7f}, good[1:]...),
 		"truncated":     good[:len(good)-1],
 		"trailing":      append(append([]byte{}, good...), 0x00),
 	}
@@ -107,13 +116,14 @@ func TestEntryDecodeRejectsMalformed(t *testing.T) {
 // same bytes (a canonical encoding, so measured sizes are reproducible).
 func FuzzWireRoundTrip(f *testing.F) {
 	seed, _ := Entry{Seq: 3, From: "off1/2", Phase: "offline", Category: "reshare",
-		Size: 5, Payload: []byte{1, 2, 3, 4, 5}}.MarshalBinary()
+		Trace: TraceContext{Proc: "p", Span: 1, PostUS: 2, RecvUS: 3},
+		Size:  5, Payload: []byte{1, 2, 3, 4, 5}}.MarshalBinary()
 	f.Add(seed)
 	empty, _ := Entry{From: "", Phase: "", Category: ""}.MarshalBinary()
 	f.Add(empty)
 	f.Add([]byte{})
-	f.Add([]byte{0x01})
-	f.Add([]byte{0x01, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0x02})
+	f.Add([]byte{0x02, 0xff, 0xff, 0xff, 0xff})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var e Entry
 		if err := e.UnmarshalBinary(data); err != nil {

@@ -20,8 +20,9 @@ import (
 
 // Version is the wire-format version byte carried by framed messages
 // (transport entries and requests). Codecs with fixed layouts (proofs,
-// ciphertexts) omit it; the enclosing frame versions them.
-const Version byte = 1
+// ciphertexts) omit it; the enclosing frame versions them. Version 2
+// added the trace-context field to board entries and post frames.
+const Version byte = 2
 
 // MaxLen bounds any single length-prefixed field (1 GiB): a decoder reading
 // attacker-supplied bytes must never allocate unbounded memory from a
@@ -44,6 +45,19 @@ func Uint32(data []byte) (uint32, []byte, error) {
 		return 0, nil, fmt.Errorf("%w: truncated uint32", ErrMalformed)
 	}
 	return binary.BigEndian.Uint32(data), data[4:], nil
+}
+
+// AppendUint64 appends a big-endian uint64.
+func AppendUint64(dst []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(dst, v)
+}
+
+// Uint64 consumes a big-endian uint64 and returns the remainder.
+func Uint64(data []byte) (uint64, []byte, error) {
+	if len(data) < 8 {
+		return 0, nil, fmt.Errorf("%w: truncated uint64", ErrMalformed)
+	}
+	return binary.BigEndian.Uint64(data), data[8:], nil
 }
 
 // AppendBytes32 appends a u32 length prefix followed by b.
@@ -119,6 +133,16 @@ func ReadUint32(r io.Reader) (uint32, int, error) {
 		return 0, n, err
 	}
 	return binary.BigEndian.Uint32(buf[:]), n, nil
+}
+
+// ReadUint64 reads a big-endian uint64 from a stream.
+func ReadUint64(r io.Reader) (uint64, int, error) {
+	var buf [8]byte
+	n, err := io.ReadFull(r, buf[:])
+	if err != nil {
+		return 0, n, err
+	}
+	return binary.BigEndian.Uint64(buf[:]), n, nil
 }
 
 // ReadString8 reads a u8-length-prefixed string from a stream.

@@ -12,10 +12,12 @@ import (
 // change here changes every codec in the repo and must bump Version.
 func TestGoldenLayout(t *testing.T) {
 	buf := AppendUint32(nil, 0x01020304)
+	buf = AppendUint64(buf, 0x0102030405060708)
 	buf = AppendString8(buf, "ab")
 	buf = AppendBytes32(buf, []byte{0xff})
 	golden := []byte{
 		0x01, 0x02, 0x03, 0x04, // uint32, big-endian
+		0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, // uint64, big-endian
 		0x02, 'a', 'b', // str8: u8 length | bytes
 		0x00, 0x00, 0x00, 0x01, 0xff, // bytes32: u32 length | bytes
 	}
@@ -26,6 +28,10 @@ func TestGoldenLayout(t *testing.T) {
 	v, rest, err := Uint32(buf)
 	if err != nil || v != 0x01020304 {
 		t.Fatalf("Uint32 = %#x, %v", v, err)
+	}
+	v64, rest, err := Uint64(rest)
+	if err != nil || v64 != 0x0102030405060708 {
+		t.Fatalf("Uint64 = %#x, %v", v64, err)
 	}
 	s, rest, err := String8(rest)
 	if err != nil || s != "ab" {
@@ -52,6 +58,9 @@ func TestBytes32Copies(t *testing.T) {
 func TestDecodeMalformed(t *testing.T) {
 	if _, _, err := Uint32([]byte{1, 2, 3}); !errors.Is(err, ErrMalformed) {
 		t.Errorf("short uint32: %v", err)
+	}
+	if _, _, err := Uint64([]byte{1, 2, 3, 4, 5, 6, 7}); !errors.Is(err, ErrMalformed) {
+		t.Errorf("short uint64: %v", err)
 	}
 	if _, _, err := String8([]byte{}); !errors.Is(err, ErrMalformed) {
 		t.Errorf("empty string field: %v", err)
@@ -91,6 +100,12 @@ func TestStreamEOFSemantics(t *testing.T) {
 	}
 	if _, _, err := ReadUint32(bytes.NewReader([]byte{1, 2})); err != io.ErrUnexpectedEOF {
 		t.Errorf("partial uint32 stream: %v, want io.ErrUnexpectedEOF", err)
+	}
+	if _, _, err := ReadUint64(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("empty uint64 stream: %v, want io.EOF", err)
+	}
+	if _, _, err := ReadUint64(bytes.NewReader([]byte{1, 2, 3})); err != io.ErrUnexpectedEOF {
+		t.Errorf("partial uint64 stream: %v, want io.ErrUnexpectedEOF", err)
 	}
 	if _, _, err := ReadString8(bytes.NewReader([]byte{3, 'a'})); err != io.ErrUnexpectedEOF {
 		t.Errorf("partial string stream: %v, want io.ErrUnexpectedEOF", err)

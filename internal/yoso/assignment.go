@@ -19,6 +19,13 @@ type Assignment struct {
 	board *transport.Board
 	pke   pke.Scheme
 	adv   *Adversary
+
+	// Quorum is the speaker count reconstruction needs from each formed
+	// committee — the protocol driver sets it to its threshold (packed:
+	// t+2(k−1)+1, baseline: t+1) before forming committees. It is
+	// published in each committee's progress manifest so a board observer
+	// can judge fail-stop margins; 0 means every member is required.
+	Quorum int
 }
 
 // NewAssignment builds the functionality.
@@ -30,11 +37,25 @@ func NewAssignment(board *transport.Board, scheme pke.Scheme, adv *Adversary) *A
 }
 
 // FormCommittee samples and equips a fresh committee of n roles. Publishing
-// the n role public keys is metered in the given phase.
+// the n role public keys is metered in the given phase. Before minting any
+// key the committee's progress manifest (expected speakers and quorum) goes
+// on the board under the system phase, so monitors derive expected-speaker
+// sets from board contents alone and the manifest bytes never perturb the
+// protocol phases' cost accounting.
 func (a *Assignment) FormCommittee(name string, n int, phase comm.Phase) (*Committee, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("yoso: committee %q size %d", name, n)
 	}
+	quorum := a.Quorum
+	if quorum <= 0 || quorum > n {
+		quorum = n
+	}
+	man := transport.Manifest{Committee: name, Phase: string(phase), N: n, Quorum: quorum}
+	manWire, err := man.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("yoso: encoding manifest for %q: %w", name, err)
+	}
+	a.board.Post("role-assignment", comm.PhaseSystem, comm.CatManifest, manWire, man)
 	behaviors := a.adv.Sample(n)
 	c := &Committee{Name: name, Roles: make([]*Role, n)}
 	for i := 1; i <= n; i++ {

@@ -43,6 +43,46 @@ func TestFormCommittee(t *testing.T) {
 	}
 }
 
+func TestFormCommitteePublishesManifest(t *testing.T) {
+	a, board := newTestAssignment(nil)
+	a.Quorum = 3
+	if _, err := a.FormCommittee("offB1", 5, comm.PhaseOffline); err != nil {
+		t.Fatal(err)
+	}
+	first, err := board.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.From != "role-assignment" || first.Phase != comm.PhaseSystem || first.Category != comm.CatManifest {
+		t.Fatalf("first posting = %+v, want system-phase manifest", first)
+	}
+	var man transport.Manifest
+	if err := man.UnmarshalBinary(first.Bytes); err != nil {
+		t.Fatal(err)
+	}
+	if man.Committee != "offB1" || man.Phase != "offline" || man.N != 5 || man.Quorum != 3 {
+		t.Errorf("manifest = %+v", man)
+	}
+	// Manifest bytes are metered outside the protocol phases, so the
+	// cost-model comparisons never see monitoring overhead.
+	rep := board.Report()
+	if rep.ByPhase[comm.PhaseSystem] == 0 {
+		t.Error("manifest not metered under the system phase")
+	}
+	// A quorum above n (or 0) clamps to n: every member required.
+	a.Quorum = 99
+	if _, err := a.FormCommittee("tiny", 2, comm.PhaseOffline); err != nil {
+		t.Fatal(err)
+	}
+	entry, _ := board.Get(board.Len() - 3) // manifest precedes the 2 role keys
+	if err := man.UnmarshalBinary(entry.Bytes); err != nil {
+		t.Fatal(err)
+	}
+	if man.Committee != "tiny" || man.Quorum != 2 {
+		t.Errorf("clamped manifest = %+v", man)
+	}
+}
+
 func TestSpokeEnforcement(t *testing.T) {
 	a, board := newTestAssignment(nil)
 	c, err := a.FormCommittee("c", 2, comm.PhaseOffline)
@@ -51,7 +91,7 @@ func TestSpokeEnforcement(t *testing.T) {
 	}
 	r := c.Role(1)
 	r.Post(comm.PhaseOffline, comm.CatLambda, make([]byte, 10), "msg")
-	if board.Len() != 3 { // 2 role keys + 1 message
+	if board.Len() != 4 { // 1 manifest + 2 role keys + 1 message
 		t.Errorf("board has %d postings", board.Len())
 	}
 	r.Spoke()

@@ -1,0 +1,90 @@
+package yosompc
+
+import (
+	"net"
+	"path/filepath"
+	"testing"
+
+	"yosompc/internal/transport"
+)
+
+// TestCrossProcessTraceMerge pins the trace-correlation contract: two
+// instrumented runs (distinct Proc names, as two OS processes would be)
+// mirror into one board server, each exports its own Chrome trace, and
+// MergeTraces aligns both onto the board's shared timeline — the merged
+// document validates (monotone board lane, all lanes named) and carries a
+// clock offset per process.
+func TestCrossProcessTraceMerge(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := transport.Serve(ln)
+	defer srv.Close()
+
+	circ, err := InnerProduct(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := map[int][]Value{0: Values(2, 3), 1: Values(4, 5)}
+	dir := t.TempDir()
+
+	var procs []ProcessTrace
+	for _, proc := range []string{"alpha", "beta"} {
+		tr := NewTracer()
+		cfg := Config{
+			N: 7, T: 1, K: 2, Backend: Sim,
+			Proc: proc, Trace: tr, MirrorAddr: srv.Addr(),
+		}
+		if _, err := Run(cfg, circ, inputs); err != nil {
+			t.Fatalf("run %s: %v", proc, err)
+		}
+		path := filepath.Join(dir, proc+".trace.json")
+		if err := WriteTraceFile(path, tr); err != nil {
+			t.Fatal(err)
+		}
+		pt, err := ReadProcessTrace(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt.Proc != proc || pt.EpochUS == 0 {
+			t.Fatalf("trace file for %s lost its process metadata: %+v", proc, pt)
+		}
+		procs = append(procs, pt)
+	}
+
+	entries, err := transport.Fetch(srv.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no mirrored entries on the board")
+	}
+	mt, err := MergeTraces(entries, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.Validate(); err != nil {
+		t.Fatalf("merged trace invalid: %v", err)
+	}
+	if len(mt.Offsets) != 2 {
+		t.Fatalf("offsets = %v", mt.Offsets)
+	}
+	// Both process lanes and the board lane carry real events.
+	perPid := map[int]int{}
+	for _, ev := range mt.Events {
+		if ev.Ph != "M" {
+			perPid[ev.Pid]++
+		}
+	}
+	for pid := 0; pid <= 2; pid++ {
+		if perPid[pid] == 0 {
+			t.Errorf("lane %d has no events (%v)", pid, perPid)
+		}
+	}
+	// Round-trip: the merged file validates on disk too.
+	out := filepath.Join(dir, "merged.trace.json")
+	if err := mt.WriteFile(out); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"yosompc/internal/comm"
 	"yosompc/internal/core"
 	"yosompc/internal/field"
+	"yosompc/internal/monitor"
 	"yosompc/internal/paillier"
 	"yosompc/internal/pke"
 	"yosompc/internal/sortition"
@@ -150,6 +151,18 @@ type Config struct {
 	// Metrics, when non-nil, receives worker-pool counters and histograms
 	// from the execution engine. nil disables collection at zero cost.
 	Metrics *MetricsRegistry
+	// Monitor, when non-nil, observes the run's bulletin board and derives
+	// protocol progress from it: per-phase completion, expected-vs-posted
+	// speakers per committee, stragglers, and the fail-stop margin (§5.4).
+	// nil disables monitoring at zero cost. When Metrics is also set the
+	// monitor's counters and gauges are registered on it.
+	Monitor *Monitor
+	// Proc names this OS process for cross-process correlation: board
+	// postings (and their mirror, when MirrorAddr is set) carry it in
+	// their trace context, and trace exports embed it so MergeTraces can
+	// align this process's spans onto the shared board timeline. Empty is
+	// fine for single-process runs.
+	Proc string
 }
 
 // Tracer records hierarchical spans of a protocol run; see
@@ -167,6 +180,29 @@ func NewTracer() *Tracer { return telemetry.NewTracer() }
 // NewMetricsRegistry returns an enabled metrics registry for
 // Config.Metrics.
 func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// Monitor derives protocol progress from bulletin-board contents alone;
+// see internal/monitor and docs/OBSERVABILITY.md. A nil *Monitor is a
+// valid disabled monitor.
+type Monitor = monitor.Monitor
+
+// ProgressSnapshot is the monitor's point-in-time progress document — the
+// schema served by the /progress endpoint.
+type ProgressSnapshot = monitor.Snapshot
+
+// ProcessTrace is one process's parsed Chrome trace plus its process
+// metadata, as read by ReadProcessTrace and consumed by MergeTraces.
+type ProcessTrace = monitor.ProcessTrace
+
+// NewMonitor returns an enabled progress monitor for Config.Monitor.
+func NewMonitor() *Monitor { return monitor.New() }
+
+// MergeTraces aligns per-process Chrome traces onto the shared board
+// timeline; ReadProcessTrace parses one process's exported trace file.
+var (
+	MergeTraces      = monitor.MergeTraces
+	ReadProcessTrace = monitor.ReadTraceFile
+)
 
 // WriteTraceFile writes a recorded trace to path: Chrome trace_event JSON
 // by default (load in chrome://tracing or https://ui.perfetto.dev), span
@@ -201,7 +237,7 @@ func (c Config) coreParams() (core.Params, error) {
 	}
 	params := core.Params{
 		N: c.N, T: c.T, K: c.K, Adversary: adv, Robust: c.Robust, Workers: c.Workers,
-		Trace: c.Trace, Metrics: c.Metrics,
+		Trace: c.Trace, Metrics: c.Metrics, Proc: c.Proc,
 	}
 	switch c.Backend {
 	case Real:
@@ -218,6 +254,16 @@ func (c Config) coreParams() (core.Params, error) {
 	return params, nil
 }
 
+// attachMonitor subscribes the configured progress monitor to the run's
+// board (and its metrics to the configured registry). Nil-safe throughout.
+func attachMonitor(cfg Config, board *transport.Board) {
+	if cfg.Monitor == nil {
+		return
+	}
+	cfg.Monitor.Instrument(cfg.Metrics)
+	cfg.Monitor.AttachBoard(board)
+}
+
 // Run executes the paper's packed YOSO MPC protocol on the circuit with
 // the given per-client inputs.
 func Run(cfg Config, circ *Circuit, inputs map[int][]Value) (*Result, error) {
@@ -229,6 +275,7 @@ func Run(cfg Config, circ *Circuit, inputs map[int][]Value) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	attachMonitor(cfg, proto.Board())
 	if cfg.MirrorAddr != "" {
 		mirror, err := transport.AttachMirror(proto.Board(), cfg.MirrorAddr)
 		if err != nil {
@@ -264,6 +311,7 @@ func Prepare(cfg Config, circ *Circuit) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
+	attachMonitor(cfg, proto.Board())
 	inner, err := proto.Prepare()
 	if err != nil {
 		return nil, err

@@ -207,3 +207,29 @@ func TestFacadeMirror(t *testing.T) {
 		t.Errorf("entry payloads sum to %d bytes, local report says %d", payloadSum, res.Report.Total)
 	}
 }
+
+func TestFacadeMonitor(t *testing.T) {
+	circ, err := InnerProduct(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := NewMonitor()
+	reg := NewMetricsRegistry()
+	cfg := Config{N: 7, T: 1, K: 2, Backend: Sim, Proc: "facade-test", Monitor: mon, Metrics: reg}
+	if _, err := Run(cfg, circ, map[int][]Value{0: Values(1, 2), 1: Values(3, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	s := mon.Snapshot()
+	if !s.Complete {
+		t.Fatalf("monitored run not complete: %+v", s)
+	}
+	for _, c := range s.Committees {
+		if c.Proc != "facade-test" {
+			t.Errorf("committee %s proc = %q", c.Committee, c.Proc)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Gauges["monitor.speakers_posted"] == 0 {
+		t.Errorf("monitor metrics not registered: %+v", snap.Gauges)
+	}
+}
