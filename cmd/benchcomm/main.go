@@ -16,19 +16,24 @@ import (
 	"os"
 
 	"yosompc/internal/bench"
+	"yosompc/internal/paillier"
 	"yosompc/internal/sortition"
 	"yosompc/internal/telemetry"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "all | table1 | online | improvement | offline | failstop | robust | amortization | totalcost | ablation | sharing | wire | speedup")
+		experiment = flag.String("experiment", "all", "all | table1 | online | improvement | offline | failstop | robust | amortization | totalcost | ablation | sharing | wire | speedup | paillier")
 		sharingN   = flag.Int("sharing-nmax", 1024, "E12 largest committee size (powers of 4 from 64 up to this)")
 		sharingR   = flag.Int("sharing-reps", 3, "E12 timed repetitions per figure")
 		widthMult  = flag.Int("widthmult", 16, "E2 workload width multiplier (width = widthmult·n·k)")
 		eps        = flag.Float64("eps", 0.25, "gap ε for measured sweeps")
 		workers    = flag.Int("workers", 0, "worker-pool size for all measured runs (0 = one per CPU, 1 = serial)")
 		speedupW   = flag.Int("speedup-width", 1024, "E11 workload width (mul gates) for -experiment speedup")
+		paillierB  = flag.Int("paillier-bits", 2048, "E14 Paillier modulus size: 512, 768, or 2048")
+		paillierR  = flag.Int("paillier-reps", 3, "E14 timed repetitions per figure")
+		paillierN  = flag.Int("paillier-n", 1024, "E14b opening-kernel committee size (Δ = n!)")
+		paillierT  = flag.Int("paillier-t", 16, "E14b opening-kernel threshold (t+1 partials combined)")
 		traceOut   = flag.String("trace", "", "trace all measured runs and write the spans here (Chrome trace_event JSON; .jsonl for span lines)")
 		metricsOut = flag.String("metrics-out", "", "collect engine metrics across all measured runs and write the JSON snapshot here")
 		stampDir   = flag.String("stamp", "", "also write each experiment's result as BENCH_<name>.json (telemetry-stamped) into this directory")
@@ -203,6 +208,42 @@ func main() {
 		}
 		return stamp("wire", res)
 	})
+
+	// E14 is wall-clock heavy at its production-representative defaults
+	// (2048-bit modulus, Δ = 1024!), so like E11 it only runs when named
+	// explicitly, never under -experiment all.
+	if *experiment == "paillier" {
+		var sk *paillier.PrivateKey
+		switch *paillierB {
+		case 512:
+			sk = paillier.FixedTestKey(0)
+		case 768:
+			sk = paillier.FixedTestKey768(0)
+		case 2048:
+			sk = paillier.FixedTestKey2048()
+		default:
+			fmt.Fprintf(os.Stderr, "benchcomm: paillier: no fixed key at %d bits (use 512, 768, or 2048)\n", *paillierB)
+			os.Exit(1)
+		}
+		fail := func(err error) {
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchcomm: paillier: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		hot, err := bench.PaillierHotpath(sk, *paillierR, 8, *paillierN)
+		fail(err)
+		fmt.Println("=== E14a: Paillier hot paths, modexp engine vs naive (measured) ===")
+		fmt.Print(bench.FormatPaillierHotpath(hot))
+		fmt.Println()
+		opening, err := bench.PaillierOpeningKernel(sk, *paillierN, *paillierT, *paillierR)
+		fail(err)
+		fmt.Println("=== E14b: offline opening-round kernel, engine vs naive (measured) ===")
+		fmt.Print(bench.FormatPaillierOpening(opening))
+		fmt.Println()
+		fail(stamp("paillier_hotpath", map[string]any{"hotpath": hot, "opening": opening}))
+		return
+	}
 
 	// E11 is wall-clock heavy (two full offline phases at n=64), so it
 	// only runs when named explicitly, never under -experiment all.

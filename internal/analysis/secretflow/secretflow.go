@@ -289,10 +289,16 @@ func sanitizer(fn *types.Func) bool {
 	}
 	// Modular exponentiation is a one-way function: g^x publishes a value
 	// that hides x by the hardness of discrete log / factoring. The Shoup
-	// verification keys v^(Δ·d_i) and sigma-protocol commitments derive
-	// from secret exponents exactly this way and are public by design.
-	if name == "expSigned" &&
-		(taint.PathHasSegment(path, "tte") || taint.PathHasSegment(path, "nizk") || taint.PathHasSegment(path, "paillier")) {
+	// verification keys v^(Δ·d_i), partial decryptions c^(2Δ·d_i), and
+	// sigma-protocol commitments derive from secret exponents exactly this
+	// way and are public by design. The modexp engine package is the
+	// sanctioned home for these kernels (ExpSigned, ExpCachedSigned,
+	// ExpManySigned, MultiExp, FixedBase.Exp, PowerLadder.Pow), alongside
+	// paillier's CRT variant of the same operation.
+	if taint.PathHasSegment(path, "modexp") && (strings.Contains(name, "Exp") || name == "Pow") {
+		return true
+	}
+	if name == "ExpSignedCRT" && taint.PathHasSegment(path, "paillier") {
 		return true
 	}
 	return false

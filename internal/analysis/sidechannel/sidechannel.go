@@ -23,10 +23,11 @@
 //
 // Sanctioned-call list: crypto/subtle and crypto/hmac consume secrets in
 // constant time and are simply never classified as sinks; secretflow's
-// sanitizers (Encrypt*, Prove*, expSigned, crypto/*) launder their results
-// here too, so branching on a ciphertext or a commitment stays silent. The
-// `paillier` and `field` kernel packages are sanctioned wholesale: field
-// is branchless uint64 arithmetic, and paillier is built on math/big and
+// sanitizers (Encrypt*, Prove*, modexp's exponentiation engine, crypto/*)
+// launder their results here too, so branching on a ciphertext or a
+// commitment stays silent. The `paillier`, `field`, and `modexp` kernel
+// packages are sanctioned wholesale: field is branchless uint64
+// arithmetic, while paillier and modexp are built on math/big and
 // documented as variable-time at this layer — their internals are audited
 // by hand, and their summaries carry no trace-sink facts, so callers are
 // not flagged for using them.
@@ -92,11 +93,16 @@ func run(mp *analysis.ModulePass) error {
 // sanctioned reports packages whose internals are exempt from trace-sink
 // classification: the modular-arithmetic kernels. field is branchless
 // uint64 arithmetic; paillier is built on math/big and documented as
-// variable-time at this layer. Suppressing classification (rather than
+// variable-time at this layer; modexp is the engine package all
+// variable-time big-int exponentiation was consolidated into — its
+// package doc carries the one-way-function argument the per-site vartime
+// directives used to repeat. Suppressing classification (rather than
 // filtering reports) also keeps trace-sink facts out of their summaries,
 // so callers are not flagged for using the sanctioned kernels.
 func sanctioned(path string) bool {
-	return taint.PathHasSegment(path, "paillier") || taint.PathHasSegment(path, "field")
+	return taint.PathHasSegment(path, "paillier") ||
+		taint.PathHasSegment(path, "field") ||
+		taint.PathHasSegment(path, "modexp")
 }
 
 // exempt reports positions where trace sinks are not classified at all:

@@ -1,0 +1,387 @@
+package bench
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+	"strings"
+	"time"
+
+	"yosompc/internal/modexp"
+	"yosompc/internal/nizk"
+	"yosompc/internal/paillier"
+	"yosompc/internal/tte"
+)
+
+// PaillierHotpathRow is E14a: per-operation wall clock of the Paillier /
+// Damgård–Jurik crypto kernels, modexp engine versus the retained naive
+// references, at one modulus size. Every engine figure is produced by the
+// exact code path the protocol driver runs; Identical reports that engine
+// and naive outputs matched bit-for-bit during the measurement.
+type PaillierHotpathRow struct {
+	// Bits is the Paillier modulus size (ciphertexts live mod Bits·2).
+	Bits int
+	// Reps is how many timed repetitions each figure averages over.
+	Reps int
+	// Encryption: closed-form (1+N)^m + nonce power vs double full
+	// exponentiation (per ciphertext).
+	EncEngine, EncNaive time.Duration
+	// Decryption: CRT split over p^{s+1}/q^{s+1} vs single full-width
+	// exponentiation (per ciphertext).
+	DecEngine, DecNaive time.Duration
+	// Proof verification: cached fixed-base g^Z + Straus A·h^e fold vs
+	// two independent exponentiations (per EqExp proof, warm cache).
+	VerifyEngine, VerifyNaive time.Duration
+	// Batched encryption: EncryptMany at 1 worker vs the default pool
+	// (per ciphertext, batch of BatchSize).
+	BatchSize                  int
+	BatchSerial, BatchParallel time.Duration
+	// Speedups are naive÷engine (serial÷parallel for the batch).
+	EncSpeedup, DecSpeedup, VerifySpeedup, BatchSpeedup float64
+	// Identical reports bit-identity of engine vs naive outputs across
+	// all differential measurements above.
+	Identical bool
+}
+
+// PaillierHotpath measures E14a against the given dealer key. The modexp
+// table cache is warmed before the verification timing, so the verify
+// figure is the amortized steady state a committee's proof checker sees;
+// encryption and decryption have no warm-up (their speedups are purely
+// algebraic). The EqExp witness is sized like a Δ-scaled key share for a
+// witnessN-member committee (|Δ·d_i| ≈ log₂(n!) + |N^s·m| bits), the
+// magnitude partial-decryption proofs actually carry. When the package
+// Metrics registry is set, the engine's cache counters are mirrored into
+// it.
+func PaillierHotpath(sk *paillier.PrivateKey, reps, batch, witnessN int) (*PaillierHotpathRow, error) {
+	if witnessN < 2 {
+		witnessN = 1024
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	if batch < 2 {
+		batch = 8
+	}
+	if Metrics != nil {
+		modexp.Instrument(Metrics)
+	}
+	dj, err := paillier.NewDJKey(sk, 1)
+	if err != nil {
+		return nil, err
+	}
+	row := &PaillierHotpathRow{Bits: sk.N.BitLen(), Reps: reps, BatchSize: batch, Identical: true}
+	measure := func(op func() error) (time.Duration, error) {
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			if err := op(); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start) / time.Duration(reps), nil
+	}
+
+	// Encryption: same (m, r) through both paths, outputs compared.
+	m, err := rand.Int(rand.Reader, sk.N)
+	if err != nil {
+		return nil, err
+	}
+	nonce, err := sk.PublicKey.RandomUnit(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	var encEngine, encNaive *paillier.Ciphertext
+	if row.EncEngine, err = measure(func() error {
+		encEngine, err = dj.EncryptWithNonce(m, nonce)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if row.EncNaive, err = measure(func() error {
+		encNaive, err = dj.EncryptWithNonceNaive(m, nonce)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	row.Identical = row.Identical && encEngine.C.Cmp(encNaive.C) == 0
+
+	// Decryption of the ciphertext just produced.
+	var decEngine, decNaive *big.Int
+	if row.DecEngine, err = measure(func() error {
+		decEngine, err = dj.Decrypt(encEngine)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if row.DecNaive, err = measure(func() error {
+		decNaive, err = dj.DecryptNaive(encEngine)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	row.Identical = row.Identical && decEngine.Cmp(decNaive) == 0 && decEngine.Cmp(m) == 0 //yosolint:vartime differential cross-check on a known benchmark plaintext
+
+	// Proof verification over Z*_{N²} with a witness sized like a
+	// Δ-scaled key share for a witnessN-member committee. Three warm-up
+	// verifications promote the bases into the fixed-base table cache
+	// before timing.
+	wBits := factorialBits(witnessN) + uint(sk.N.BitLen()) + uint(sk.N.BitLen())/2
+	w, err := rand.Int(rand.Reader, new(big.Int).Lsh(bigIntOne, wBits))
+	if err != nil {
+		return nil, err
+	}
+	g1, g2, h1, h2, proof, err := eqExpFixture(dj.Ns1, w)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 3; i++ {
+		if !nizk.VerifyEqExp(dj.Ns1, g1, g2, h1, h2, proof) {
+			return nil, fmt.Errorf("bench: paillier: warm-up verification rejected an honest proof")
+		}
+	}
+	verdictEngine, verdictNaive := false, false
+	if row.VerifyEngine, err = measure(func() error {
+		verdictEngine = nizk.VerifyEqExp(dj.Ns1, g1, g2, h1, h2, proof)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if row.VerifyNaive, err = measure(func() error {
+		verdictNaive = nizk.VerifyEqExpNaive(dj.Ns1, g1, g2, h1, h2, proof)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	row.Identical = row.Identical && verdictEngine && verdictNaive
+
+	// Batched encryption throughput (nonces are fresh per call, so the
+	// figures are per-ciphertext wall clock, not a bit-identity check —
+	// worker-count independence is pinned by the package tests).
+	ms := make([]*big.Int, batch)
+	for i := range ms {
+		if ms[i], err = rand.Int(rand.Reader, sk.N); err != nil {
+			return nil, err
+		}
+	}
+	if row.BatchSerial, err = measure(func() error {
+		_, err := dj.EncryptMany(rand.Reader, ms, 1)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	row.BatchSerial /= time.Duration(batch)
+	if row.BatchParallel, err = measure(func() error {
+		_, err := dj.EncryptMany(rand.Reader, ms, 0)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	row.BatchParallel /= time.Duration(batch)
+
+	if row.EncEngine > 0 {
+		row.EncSpeedup = float64(row.EncNaive) / float64(row.EncEngine)
+	}
+	if row.DecEngine > 0 {
+		row.DecSpeedup = float64(row.DecNaive) / float64(row.DecEngine)
+	}
+	if row.VerifyEngine > 0 {
+		row.VerifySpeedup = float64(row.VerifyNaive) / float64(row.VerifyEngine)
+	}
+	if row.BatchParallel > 0 {
+		row.BatchSpeedup = float64(row.BatchSerial) / float64(row.BatchParallel)
+	}
+	return row, nil
+}
+
+var bigIntOne = big.NewInt(1)
+
+// factorialBits returns the bit length of n! (the Shoup scaling factor Δ
+// for an n-member committee).
+func factorialBits(n int) uint {
+	f := big.NewInt(1)
+	for i := 2; i <= n; i++ {
+		f.Mul(f, big.NewInt(int64(i)))
+	}
+	return uint(f.BitLen())
+}
+
+// eqExpFixture builds one honest EqExp statement and proof with witness w.
+func eqExpFixture(modulus, w *big.Int) (g1, g2, h1, h2 *big.Int, proof *nizk.EqExpProof, err error) {
+	square := func() (*big.Int, error) {
+		r, err := rand.Int(rand.Reader, modulus)
+		if err != nil {
+			return nil, err
+		}
+		r.Mul(r, r)
+		r.Mod(r, modulus)
+		if r.Sign() == 0 {
+			r.SetInt64(4)
+		}
+		return r, nil
+	}
+	if g1, err = square(); err != nil {
+		return
+	}
+	if g2, err = square(); err != nil {
+		return
+	}
+	if h1, err = modexp.ExpSigned(g1, w, modulus); err != nil {
+		return
+	}
+	if h2, err = modexp.ExpSigned(g2, w, modulus); err != nil {
+		return
+	}
+	wBound := new(big.Int).Lsh(bigIntOne, uint(w.BitLen())+1)
+	proof, err = nizk.ProveEqExp(modulus, g1, g2, h1, h2, w, wBound)
+	return
+}
+
+// PaillierOpeningRow is E14b: the offline phase's opening-round kernel —
+// t+1 threshold partial decryptions plus one Combine — at committee size
+// N, engine versus naive. The Δ = N! scaling makes the exponent sizes
+// (and therefore the figures) authentic for an N-member committee even
+// though only t+1 members speak.
+type PaillierOpeningRow struct {
+	// N is the committee size (Δ = N!); T the reconstruction threshold;
+	// Parts = T+1 the number of partials combined.
+	N, T, Parts int
+	// Bits is the Paillier modulus size.
+	Bits int
+	// Reps is how many timed repetitions each figure averages over.
+	Reps int
+	// Per-partial c^{2Δd_i}: CRT engine vs full-width naive.
+	PartialEngine, PartialNaive time.Duration
+	// Combine Π v_i^{2Λ_i}: one Straus multi-exp vs t+1 exponentiations.
+	CombineEngine, CombineNaive time.Duration
+	// Whole opening round: (t+1)·partial + combine.
+	RoundEngine, RoundNaive time.Duration
+	// Speedups are naive÷engine.
+	PartialSpeedup, CombineSpeedup, RoundSpeedup float64
+	// Identical reports that engine and naive opened to the same value.
+	Identical bool
+}
+
+// PaillierOpeningKernel measures E14b: the threshold-decryption round the
+// offline phase performs per Beaver opening, at committee size n with
+// threshold t, under the given dealer key.
+func PaillierOpeningKernel(sk *paillier.PrivateKey, n, t, reps int) (*PaillierOpeningRow, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	if Metrics != nil {
+		modexp.Instrument(Metrics)
+	}
+	sc, err := tte.NewThreshold(sk)
+	if err != nil {
+		return nil, err
+	}
+	pk, shares, err := sc.KeyGen(n, t)
+	if err != nil {
+		return nil, err
+	}
+	want := big.NewInt(123456789)
+	ct, err := sc.Encrypt(pk, want, big.NewInt(1<<30))
+	if err != nil {
+		return nil, err
+	}
+	row := &PaillierOpeningRow{N: n, T: t, Parts: t + 1, Bits: sk.N.BitLen(), Reps: reps}
+	measure := func(op func() error) (time.Duration, error) {
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			if err := op(); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start) / time.Duration(reps), nil
+	}
+
+	speakers := shares[:t+1]
+	// Per-partial figures average over the t+1 speakers (share magnitudes
+	// differ slightly, so one share would under-represent the round).
+	parts := make([]tte.PartialDec, t+1)
+	if row.PartialEngine, err = measure(func() error {
+		for i, sh := range speakers {
+			if parts[i], err = sc.PartialDecrypt(pk, sh, ct); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	row.PartialEngine /= time.Duration(t + 1)
+	partsNaive := make([]tte.PartialDec, t+1)
+	if row.PartialNaive, err = measure(func() error {
+		for i, sh := range speakers {
+			if partsNaive[i], err = sc.PartialDecryptNaive(pk, sh, ct); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	row.PartialNaive /= time.Duration(t + 1)
+
+	var openEngine, openNaive *big.Int
+	if row.CombineEngine, err = measure(func() error {
+		openEngine, err = sc.Combine(pk, ct, parts) //yosolint:vartime benchmark opening of a known test value; partials are public board messages
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if row.CombineNaive, err = measure(func() error {
+		openNaive, err = sc.CombineNaive(pk, ct, partsNaive) //yosolint:vartime benchmark opening of a known test value; partials are public board messages
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	row.Identical = openEngine.Cmp(openNaive) == 0 && openEngine.Cmp(want) == 0
+
+	row.RoundEngine = time.Duration(t+1)*row.PartialEngine + row.CombineEngine
+	row.RoundNaive = time.Duration(t+1)*row.PartialNaive + row.CombineNaive
+	if row.PartialEngine > 0 {
+		row.PartialSpeedup = float64(row.PartialNaive) / float64(row.PartialEngine)
+	}
+	if row.CombineEngine > 0 {
+		row.CombineSpeedup = float64(row.CombineNaive) / float64(row.CombineEngine)
+	}
+	if row.RoundEngine > 0 {
+		row.RoundSpeedup = float64(row.RoundNaive) / float64(row.RoundEngine)
+	}
+	return row, nil
+}
+
+// FormatPaillierHotpath renders E14a.
+func FormatPaillierHotpath(r *PaillierHotpathRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "modulus %d bits, %d reps, batch %d\n", r.Bits, r.Reps, r.BatchSize)
+	fmt.Fprintf(&b, "%-22s %14s %14s %9s\n", "operation", "engine", "naive", "speedup")
+	line := func(name string, eng, naive time.Duration, sp float64) {
+		fmt.Fprintf(&b, "%-22s %14s %14s %8.1f×\n", name,
+			eng.Round(time.Microsecond), naive.Round(time.Microsecond), sp)
+	}
+	line("encrypt", r.EncEngine, r.EncNaive, r.EncSpeedup)
+	line("decrypt", r.DecEngine, r.DecNaive, r.DecSpeedup)
+	line("verify EqExp (warm)", r.VerifyEngine, r.VerifyNaive, r.VerifySpeedup)
+	fmt.Fprintf(&b, "%-22s %14s %14s %8.1f×   (per ct, %d workers vs 1)\n", "encrypt batch",
+		r.BatchParallel.Round(time.Microsecond), r.BatchSerial.Round(time.Microsecond),
+		r.BatchSpeedup, Workers)
+	fmt.Fprintf(&b, "identical: %v\n", r.Identical)
+	return b.String()
+}
+
+// FormatPaillierOpening renders E14b.
+func FormatPaillierOpening(r *PaillierOpeningRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "committee n=%d t=%d (Δ=n!), modulus %d bits, %d reps\n", r.N, r.T, r.Bits, r.Reps)
+	fmt.Fprintf(&b, "%-22s %14s %14s %9s\n", "operation", "engine", "naive", "speedup")
+	line := func(name string, eng, naive time.Duration, sp float64) {
+		fmt.Fprintf(&b, "%-22s %14s %14s %8.1f×\n", name,
+			eng.Round(time.Microsecond), naive.Round(time.Microsecond), sp)
+	}
+	line("partial decrypt", r.PartialEngine, r.PartialNaive, r.PartialSpeedup)
+	line(fmt.Sprintf("combine (%d parts)", r.Parts), r.CombineEngine, r.CombineNaive, r.CombineSpeedup)
+	line("opening round", r.RoundEngine, r.RoundNaive, r.RoundSpeedup)
+	fmt.Fprintf(&b, "identical: %v\n", r.Identical)
+	return b.String()
+}

@@ -178,14 +178,13 @@ func (r *run) offlineBeaver() error {
 	// OffB1: each role encrypts a random a-contribution per gate.
 	aPosts, err := r.committeeStep(r.offB1, comm.PhaseOffline, comm.CatBeaver, "beaver-a",
 		func(i int) (sized, error) {
-			cts := make([]tte.Ciphertext, len(muls))
+			ms := make([]*big.Int, len(muls))
 			for g := range muls {
-				a := field.MustRandom()
-				ct, err := te.Encrypt(r.tpk, fieldCoeff(a), boundP)
-				if err != nil {
-					return nil, err
-				}
-				cts[g] = ct
+				ms[g] = fieldCoeff(field.MustRandom())
+			}
+			cts, err := tte.EncryptAll(te, r.tpk, ms, boundP, r.workers())
+			if err != nil {
+				return nil, err
 			}
 			return ctBundle{cts: cts}, nil
 		},
@@ -203,19 +202,21 @@ func (r *run) offlineBeaver() error {
 	bcSize := 2 * garbSize
 	bcPosts, err := r.committeeStep(r.offB2, comm.PhaseOffline, comm.CatBeaver, "beaver-bc",
 		func(i int) (sized, error) {
-			bs := make([]tte.Ciphertext, len(muls))
+			ms := make([]*big.Int, len(muls))
+			for g := range muls {
+				ms[g] = fieldCoeff(field.MustRandom())
+			}
+			bs, err := tte.EncryptAll(te, r.tpk, ms, boundP, r.workers())
+			if err != nil {
+				return nil, err
+			}
 			cs := make([]tte.Ciphertext, len(muls))
 			for g := range muls {
-				b := field.MustRandom()
-				bct, err := te.Encrypt(r.tpk, fieldCoeff(b), boundP)
+				cct, err := te.Eval(r.tpk, []tte.Ciphertext{cA[g]}, []*big.Int{ms[g]})
 				if err != nil {
 					return nil, err
 				}
-				cct, err := te.Eval(r.tpk, []tte.Ciphertext{cA[g]}, []*big.Int{fieldCoeff(b)})
-				if err != nil {
-					return nil, err
-				}
-				bs[g], cs[g] = bct, cct
+				cs[g] = cct
 			}
 			return bundle2{a: ctBundle{bs}, b: ctBundle{cs}}, nil
 		},
@@ -326,14 +327,13 @@ func (r *run) offlineWireRandomness() error {
 
 	posts, err := r.committeeStep(r.offR, comm.PhaseOffline, comm.CatLambda, "wire-randomness",
 		func(i int) (sized, error) {
-			cts := make([]tte.Ciphertext, total)
-			for j := 0; j < total; j++ {
-				v := field.MustRandom()
-				ct, err := te.Encrypt(r.tpk, fieldCoeff(v), boundP)
-				if err != nil {
-					return nil, err
-				}
-				cts[j] = ct
+			ms := make([]*big.Int, total)
+			for j := range ms {
+				ms[j] = fieldCoeff(field.MustRandom())
+			}
+			cts, err := tte.EncryptAll(te, r.tpk, ms, boundP, r.workers())
+			if err != nil {
+				return nil, err
 			}
 			return ctBundle{cts: cts}, nil
 		},

@@ -8,6 +8,7 @@ import (
 	"yosompc/internal/circuit"
 	"yosompc/internal/comm"
 	"yosompc/internal/field"
+	"yosompc/internal/modexp"
 	"yosompc/internal/nizk"
 	"yosompc/internal/parallel"
 	"yosompc/internal/pke"
@@ -326,9 +327,11 @@ func (r *run) initTelemetry() {
 	r.rootSp.SetInt("workers", int64(pr.EffectiveWorkers()))
 	if pr.Metrics != nil {
 		r.obs = telemetry.NewPoolStats(pr.Metrics, "core.pool", pr.EffectiveWorkers())
-		// Mirror the share-algebra domain-cache counters into this run's
-		// registry (process-global cache: last instrumented run wins).
+		// Mirror the share-algebra domain-cache and modexp table-cache
+		// counters into this run's registry (process-global caches: last
+		// instrumented run wins).
 		sharing.Instrument(pr.Metrics)
+		modexp.Instrument(pr.Metrics)
 	}
 }
 

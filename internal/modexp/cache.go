@@ -1,0 +1,293 @@
+package modexp
+
+import (
+	"math/big"
+	"sync"
+	"sync/atomic"
+
+	"yosompc/internal/telemetry"
+)
+
+// The engine's process-global caches, in the internal/sharing domain-cache
+// style: copy-on-write maps behind atomic pointers, lock-free reads,
+// writers clone under a mutex, all heavy arithmetic (table builds, ladder
+// extension) done OUTSIDE the lock with double-checked re-lookup.
+//
+// A fixed-base table costs roughly 2^w/w naive exponentiations to build,
+// so caching every base seen once would lose money on one-shot bases
+// (sigma-protocol commitments, fresh ciphertexts). Tables are therefore
+// promoted on second use: the first ExpCachedSigned call on a (base,
+// modulus) pair runs the plain path and records the sighting; the second
+// builds and caches the table. Recurring bases — Shoup verification keys,
+// a round's squared ciphertext c², partial-decryption shares — hit the
+// table from their second or third use on, while one-shot bases never pay
+// the build.
+
+// tableKey identifies a cached fixed-base table. Bytes() is the canonical
+// minimal big-endian encoding, so equal residues share an entry.
+type tableKey struct{ base, modulus string }
+
+func keyOf(base, modulus *big.Int) tableKey {
+	return tableKey{string(base.Bytes()), string(modulus.Bytes())}
+}
+
+// Cache bounds, following the lagrange-cache pattern: wholesale clear on
+// overflow. Long-running many-epoch processes cycle verification keys, so
+// an unbounded map would grow without limit.
+const (
+	maxCachedTables = 64
+	maxSeenBases    = 1024
+)
+
+var (
+	cacheMu    sync.Mutex
+	tableCache atomic.Pointer[map[tableKey]*FixedBase]
+	seenCache  atomic.Pointer[map[tableKey]struct{}]
+	ladderMu   sync.Mutex
+	ladders    atomic.Pointer[map[tableKey]*PowerLadder]
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	// instruments mirrors hits/misses into a telemetry registry when one
+	// is installed via Instrument; Counter methods are nil-safe, so the
+	// unset state costs one atomic load per cache access.
+	instruments atomic.Pointer[engineCounters]
+)
+
+type engineCounters struct{ hits, misses *telemetry.Counter }
+
+// Instrument mirrors the engine's table-cache hit/miss counters into reg
+// as "modexp.table_cache_hits" / "modexp.table_cache_misses". A nil reg
+// detaches the previous registry. The caches are process-global, so when
+// several instrumented runs overlap the last-installed registry wins;
+// CacheStats always reports the process-lifetime totals.
+func Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		instruments.Store(nil)
+		return
+	}
+	instruments.Store(&engineCounters{
+		hits:   reg.Counter("modexp.table_cache_hits"),
+		misses: reg.Counter("modexp.table_cache_misses"),
+	})
+}
+
+// CacheStats returns the process-lifetime fixed-base table cache hit and
+// miss counts. A miss is any ExpCachedSigned call served without a
+// prebuilt table (including the sighting and build calls themselves).
+func CacheStats() (hits, misses int64) {
+	return cacheHits.Load(), cacheMisses.Load()
+}
+
+func recordHit() {
+	cacheHits.Add(1)
+	if c := instruments.Load(); c != nil {
+		c.hits.Inc()
+	}
+}
+
+func recordMiss() {
+	cacheMisses.Add(1)
+	if c := instruments.Load(); c != nil {
+		c.misses.Inc()
+	}
+}
+
+// resetCaches drops every cached table, sighting, and ladder, and zeroes
+// the stats. Test seam: the caches are process-global, so differential
+// tests and race hammers reset them to get deterministic hit/miss counts.
+func resetCaches() {
+	cacheMu.Lock()
+	tableCache.Store(nil)
+	seenCache.Store(nil)
+	cacheMu.Unlock()
+	ladderMu.Lock()
+	ladders.Store(nil)
+	ladderMu.Unlock()
+	cacheHits.Store(0)
+	cacheMisses.Store(0)
+}
+
+// lookupTable returns the cached table for key if one exists and covers
+// at least bits exponent bits.
+func lookupTable(key tableKey, bits int) *FixedBase {
+	m := tableCache.Load()
+	if m == nil {
+		return nil
+	}
+	t := (*m)[key]
+	if t == nil || t.bits < bits {
+		return nil
+	}
+	return t
+}
+
+// noteSeen records a first sighting of key and reports whether the key
+// had been seen before (i.e. this is at least the second use).
+func noteSeen(key tableKey) bool {
+	if m := seenCache.Load(); m != nil {
+		if _, ok := (*m)[key]; ok {
+			return true
+		}
+	}
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	old := seenCache.Load()
+	if old != nil {
+		if _, ok := (*old)[key]; ok {
+			return true
+		}
+	}
+	next := make(map[tableKey]struct{}, 1)
+	if old != nil && len(*old) < maxSeenBases {
+		for k := range *old {
+			next[k] = struct{}{}
+		}
+	}
+	next[key] = struct{}{}
+	seenCache.Store(&next)
+	return false
+}
+
+// storeTable publishes a freshly built table, keeping whichever of the
+// old and new entries covers more exponent bits. The build itself ran
+// outside the lock; losing a race just wastes one build.
+func storeTable(key tableKey, t *FixedBase) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	old := tableCache.Load()
+	if old != nil {
+		if prev := (*old)[key]; prev != nil && prev.bits >= t.bits {
+			return
+		}
+	}
+	next := make(map[tableKey]*FixedBase, 1)
+	if old != nil && len(*old) < maxCachedTables {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	next[key] = t
+	tableCache.Store(&next)
+}
+
+// minCachedExpBits is the smallest exponent size worth a table: below
+// this the plain path is already a handful of multiplications.
+const minCachedExpBits = 64
+
+// ExpCachedSigned computes base^exp mod modulus through the fixed-base
+// table cache: a cached table serves the call with one multiplication
+// per exponent digit; an uncached base takes the plain ExpSigned path
+// and is promoted to a table on its second sighting. The result is
+// bit-identical to ExpSigned in every case.
+func ExpCachedSigned(base, exp, modulus *big.Int) (*big.Int, error) {
+	bits := exp.BitLen()
+	if bits < minCachedExpBits {
+		return ExpSigned(base, exp, modulus)
+	}
+	key := keyOf(base, modulus)
+	if t := lookupTable(key, bits); t != nil {
+		recordHit()
+		return t.ExpSigned(exp)
+	}
+	recordMiss()
+	if noteSeen(key) {
+		// Second sighting (or a cached table too small for this
+		// exponent): build outside any lock, sized with headroom so
+		// nearby exponent sizes reuse it, then serve from the table so
+		// the build call itself is pinned by the differential tests too.
+		maxBits := bits + bits/8
+		if mb := modulus.BitLen(); mb > maxBits {
+			maxBits = mb
+		}
+		t := NewFixedBase(base, modulus, maxBits)
+		storeTable(key, t)
+		return t.ExpSigned(exp)
+	}
+	return ExpSigned(base, exp, modulus)
+}
+
+// PowerLadder caches consecutive powers base^0, base^1, ... mod modulus
+// in a copy-on-write slice with geometric growth (the ConstDomain.Row
+// pattern): epoch counters and Δ-power exponents grow by one per
+// resharing, so each epoch's power is one multiplication on top of the
+// last instead of a fresh Exp over an ever-longer exponent.
+type PowerLadder struct {
+	base    *big.Int
+	modulus *big.Int
+	mu      sync.Mutex
+	powers  atomic.Pointer[[]*big.Int]
+}
+
+// Ladder returns the process-global power ladder for (base, modulus),
+// creating it on first use.
+func Ladder(base, modulus *big.Int) *PowerLadder {
+	key := keyOf(base, modulus)
+	if m := ladders.Load(); m != nil {
+		if l := (*m)[key]; l != nil {
+			return l
+		}
+	}
+	ladderMu.Lock()
+	defer ladderMu.Unlock()
+	old := ladders.Load()
+	if old != nil {
+		if l := (*old)[key]; l != nil {
+			return l
+		}
+	}
+	l := &PowerLadder{
+		base:    new(big.Int).Set(base),
+		modulus: new(big.Int).Set(modulus),
+	}
+	next := make(map[tableKey]*PowerLadder, 1)
+	if old != nil && len(*old) < maxCachedTables {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	next[key] = l
+	ladders.Store(&next)
+	return l
+}
+
+// Pow returns base^k mod modulus for k ≥ 0, extending the cached ladder
+// by repeated multiplication when needed. Each power is the canonical
+// residue, bit-identical to big.Int.Exp(base, k, modulus). Negative k
+// falls back to the signed plain path.
+func (l *PowerLadder) Pow(k int) (*big.Int, error) {
+	if k < 0 {
+		return ExpSigned(l.base, big.NewInt(int64(k)), l.modulus)
+	}
+	if p := l.powers.Load(); p != nil && k < len(*p) {
+		return (*p)[k], nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	old := l.powers.Load()
+	if old != nil && k < len(*old) {
+		return (*old)[k], nil
+	}
+	// Grow geometrically so amortized extension is O(1) multiplications
+	// per epoch. Only Mul/Mod run under the mutex — the ladder never
+	// calls big.Int.Exp here.
+	capNeeded := k + 1
+	if old != nil && 2*len(*old) > capNeeded {
+		capNeeded = 2 * len(*old)
+	}
+	next := make([]*big.Int, capNeeded)
+	start := 0
+	if old != nil {
+		start = copy(next, *old)
+	}
+	for i := start; i < capNeeded; i++ {
+		if i == 0 {
+			next[i] = new(big.Int).Mod(bigOne, l.modulus)
+			continue
+		}
+		v := new(big.Int).Mul(next[i-1], l.base)
+		next[i] = v.Mod(v, l.modulus)
+	}
+	l.powers.Store(&next)
+	return next[k], nil
+}

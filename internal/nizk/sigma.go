@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/big"
 
+	"yosompc/internal/modexp"
 	"yosompc/internal/paillier"
 )
 
@@ -124,11 +125,14 @@ func ProveEqExp(modulus, g1, g2, h1, h2, w, wBound *big.Int) (*EqExpProof, error
 	if err != nil {
 		return nil, fmt.Errorf("nizk: sampling commitment: %w", err)
 	}
-	a1, err := expSigned(g1, x, modulus)
+	// The bases recur — g1 = c² across a committee's partials for the
+	// same ciphertext, g2 = v across the whole run — so the commitments
+	// go through the engine's fixed-base table cache.
+	a1, err := modexp.ExpCachedSigned(g1, x, modulus)
 	if err != nil {
 		return nil, err
 	}
-	a2, err := expSigned(g2, x, modulus)
+	a2, err := modexp.ExpCachedSigned(g2, x, modulus)
 	if err != nil {
 		return nil, err
 	}
@@ -139,37 +143,52 @@ func ProveEqExp(modulus, g1, g2, h1, h2, w, wBound *big.Int) (*EqExpProof, error
 }
 
 // VerifyEqExp checks an EqExpProof: g^Z ≡ A · h^e (mod modulus) for both
-// base/public pairs, with signed Z supported via modular inversion.
+// base/public pairs, with signed Z supported via modular inversion. The
+// engine path serves the long g^Z exponentiation from the fixed-base
+// table cache (the bases recur exactly as in ProveEqExp) and folds
+// A·h^e into one Straus pass; VerifyEqExpNaive keeps the plain
+// reference, and both sides compare the same canonical residues, so the
+// verdicts — and the intermediate values — are identical.
 func VerifyEqExp(modulus, g1, g2, h1, h2 *big.Int, proof *EqExpProof) bool {
+	return verifyEqExp(modulus, g1, g2, h1, h2, proof, true)
+}
+
+// VerifyEqExpNaive is the retained naive reference for VerifyEqExp: two
+// independent exponentiations per pair, no tables. The differential
+// tests and the paillier hot-path benchmark pin the engine path to it.
+func VerifyEqExpNaive(modulus, g1, g2, h1, h2 *big.Int, proof *EqExpProof) bool {
+	return verifyEqExp(modulus, g1, g2, h1, h2, proof, false)
+}
+
+func verifyEqExp(modulus, g1, g2, h1, h2 *big.Int, proof *EqExpProof, engine bool) bool {
 	if proof == nil || proof.A1 == nil || proof.A2 == nil || proof.Z == nil {
 		return false
 	}
 	e := eqExpChallenge(modulus, g1, g2, h1, h2, proof.A1, proof.A2)
 	check := func(g, h, a *big.Int) bool {
-		lhs, err := expSigned(g, proof.Z, modulus)
-		if err != nil {
-			return false
+		var lhs, rhs *big.Int
+		var err error
+		if engine {
+			lhs, err = modexp.ExpCachedSigned(g, proof.Z, modulus)
+			if err != nil {
+				return false
+			}
+			rhs, err = modexp.MultiExp(modulus, []*big.Int{h, a}, []*big.Int{e, bigOne})
+			if err != nil {
+				return false
+			}
+		} else {
+			lhs, err = modexp.ExpSigned(g, proof.Z, modulus)
+			if err != nil {
+				return false
+			}
+			rhs = new(big.Int).Exp(h, e, modulus)
+			rhs.Mul(rhs, a)
+			rhs.Mod(rhs, modulus)
 		}
-		rhs := new(big.Int).Exp(h, e, modulus)
-		rhs.Mul(rhs, a)
-		rhs.Mod(rhs, modulus)
 		return lhs.Cmp(rhs) == 0
 	}
 	return check(g1, h1, proof.A1) && check(g2, h2, proof.A2)
-}
-
-// expSigned computes base^exp mod modulus, inverting the base for
-// negative exponents.
-func expSigned(base, exp, modulus *big.Int) (*big.Int, error) {
-	b, e := base, exp
-	if exp.Sign() < 0 {
-		b = new(big.Int).ModInverse(base, modulus)
-		if b == nil {
-			return nil, fmt.Errorf("nizk: base not invertible")
-		}
-		e = new(big.Int).Neg(exp)
-	}
-	return new(big.Int).Exp(b, e, modulus), nil
 }
 
 func eqExpChallenge(modulus, g1, g2, h1, h2, a1, a2 *big.Int) *big.Int {

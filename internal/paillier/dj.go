@@ -60,20 +60,28 @@ func NewDJKey(base *PrivateKey, s int) (*DJKey, error) {
 	return k, nil
 }
 
-// Encrypt encrypts m ∈ [0, N^S).
+// Encrypt encrypts m ∈ [0, N^S) with fresh randomness through the
+// engine paths (closed-form message term plus one nonce
+// exponentiation; see engine.go).
 func (k *DJKey) Encrypt(random io.Reader, m *big.Int) (*Ciphertext, error) {
+	r, err := k.Base.PublicKey.RandomUnit(random)
+	if err != nil {
+		return nil, err
+	}
+	return k.EncryptWithNonce(m, r)
+}
+
+// EncryptWithNonceNaive is the retained naive reference for
+// EncryptWithNonce: (1+N)^m computed by a full big.Int.Exp over the up
+// to s·log₂N-bit exponent m. The differential tests and
+// FuzzPaillierEngineVsNaive pin the closed-form engine path to it
+// bit-for-bit.
+func (k *DJKey) EncryptWithNonceNaive(m, r *big.Int) (*Ciphertext, error) {
 	if m.Sign() < 0 || m.Cmp(k.Ns) >= 0 {
 		// The message itself stays out of the error: callers wrap errors
 		// into logs and board posts, and m is plaintext.
 		return nil, fmt.Errorf("%w: message outside [0, N^s)", ErrMessageRange)
 	}
-	r, err := k.Base.PublicKey.RandomUnit(random)
-	if err != nil {
-		return nil, err
-	}
-	// (1+N)^m mod N^{s+1} computed by binomial expansion via Exp (the
-	// exponent is big; Exp handles it in O(s·log m) multiplies of
-	// N^{s+1}-sized numbers, fine at these sizes).
 	onePlusN := new(big.Int).Add(k.Base.N, big.NewInt(1))
 	gm := new(big.Int).Exp(onePlusN, m, k.Ns1)
 	rn := new(big.Int).Exp(r, k.Ns, k.Ns1)
@@ -84,8 +92,16 @@ func (k *DJKey) Encrypt(random io.Reader, m *big.Int) (*Ciphertext, error) {
 
 // Decrypt recovers m: c^d ≡ (1+N)^m (mod N^{s+1}) for d ≡ 1 (mod N^s),
 // d ≡ 0 (mod λ), then the discrete log of (1+N)^m is extracted with the
-// Damgård–Jurik recursive algorithm.
+// Damgård–Jurik recursive algorithm. It runs on the CRT engine path
+// (engine.go); DecryptNaive keeps the single-exponentiation reference.
 func (k *DJKey) Decrypt(c *Ciphertext) (*big.Int, error) {
+	return k.DecryptCRT(c)
+}
+
+// DecryptNaive is the retained naive reference for Decrypt: the
+// decryption exponent is rebuilt per call and applied in one
+// exponentiation modulo N^{s+1}.
+func (k *DJKey) DecryptNaive(c *Ciphertext) (*big.Int, error) {
 	if c == nil || c.C == nil || c.C.Sign() <= 0 || c.C.Cmp(k.Ns1) >= 0 {
 		return nil, fmt.Errorf("%w: malformed ciphertext", ErrDecryption)
 	}

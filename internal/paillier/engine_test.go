@@ -1,0 +1,311 @@
+package paillier
+
+import (
+	"bytes"
+	"crypto/rand"
+	"math/big"
+	mrand "math/rand"
+	"sync"
+	"testing"
+
+	"yosompc/internal/modexp"
+)
+
+// The engine-vs-naive differential suite: every CRT/closed-form/batched
+// path pinned bit-for-bit against its retained naive reference.
+
+func djTestKey(t testing.TB, s int) *DJKey {
+	t.Helper()
+	k, err := NewDJKey(FixedTestKey(0), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestExpSignedCRTMatchesNaive(t *testing.T) {
+	for _, s := range []int{1, 2, 3} {
+		k := djTestKey(t, s)
+		r := mrand.New(mrand.NewSource(int64(s)))
+		for i := 0; i < 40; i++ {
+			base := new(big.Int).Rand(r, k.Ns1)
+			// Exponents both below and far above the group order, the
+			// threshold-partial regime where reduction matters most.
+			exp := new(big.Int).Rand(r, new(big.Int).Lsh(k.Ns1, uint(r.Intn(3))*512))
+			if i%3 == 1 {
+				exp.Neg(exp)
+			}
+			want, errN := modexp.ExpSigned(base, exp, k.Ns1)
+			got, errE := k.ExpSignedCRT(base, exp)
+			if (errN == nil) != (errE == nil) {
+				t.Fatalf("s=%d case %d: err naive=%v engine=%v", s, i, errN, errE)
+			}
+			if errN == nil && got.Cmp(want) != 0 {
+				t.Fatalf("s=%d case %d: engine=%v naive=%v", s, i, got, want)
+			}
+		}
+	}
+}
+
+func TestExpSignedCRTNonUnitBase(t *testing.T) {
+	k := djTestKey(t, 1)
+	// base = P·x shares a factor with N: the engine must fall back and
+	// agree with the naive path, including the error on negative
+	// exponents.
+	base := new(big.Int).Mul(k.Base.P, big.NewInt(7))
+	exp := big.NewInt(12345)
+	want, err := modexp.ExpSigned(base, exp, k.Ns1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.ExpSignedCRT(base, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(want) != 0 {
+		t.Fatalf("non-unit base: engine=%v naive=%v", got, want)
+	}
+	if _, err := k.ExpSignedCRT(base, new(big.Int).Neg(exp)); err == nil {
+		t.Fatal("negative exponent on non-unit base: want not-invertible error")
+	}
+}
+
+func TestDJDecryptCRTMatchesNaive(t *testing.T) {
+	for _, s := range []int{1, 2, 3} {
+		k := djTestKey(t, s)
+		msgs := []*big.Int{
+			big.NewInt(0),
+			big.NewInt(1),
+			new(big.Int).Rsh(k.Ns, 1),
+			new(big.Int).Sub(k.Ns, big.NewInt(1)),
+		}
+		for _, m := range msgs {
+			c, err := k.Encrypt(rand.Reader, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slow, err := k.DecryptNaive(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast, err := k.DecryptCRT(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if slow.Cmp(fast) != 0 || fast.Cmp(m) != 0 {
+				t.Errorf("s=%d m=%v: naive=%v crt=%v", s, m, slow, fast)
+			}
+		}
+	}
+}
+
+func TestDJEncryptClosedFormMatchesNaive(t *testing.T) {
+	for _, s := range []int{1, 2, 3} {
+		k := djTestKey(t, s)
+		r := mrand.New(mrand.NewSource(int64(100 + s)))
+		for i := 0; i < 20; i++ {
+			m := new(big.Int).Rand(r, k.Ns)
+			nonce, err := k.Base.PublicKey.RandomUnit(rand.Reader)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := k.EncryptWithNonceNaive(m, nonce)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := k.EncryptWithNonce(m, nonce)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.C.Cmp(want.C) != 0 {
+				t.Fatalf("s=%d case %d: closed form differs from Exp", s, i)
+			}
+		}
+		// Range errors must match too.
+		if _, err := k.EncryptWithNonce(new(big.Int).Neg(big.NewInt(1)), big.NewInt(3)); err == nil {
+			t.Fatal("engine accepted negative message")
+		}
+		if _, err := k.EncryptWithNonce(k.Ns, big.NewInt(3)); err == nil {
+			t.Fatal("engine accepted out-of-range message")
+		}
+	}
+}
+
+// TestEncryptManyWorkerCountIndependent pins the batched path: the same
+// deterministic random stream must yield byte-identical ciphertexts at
+// every worker count, and each must match a serial EncryptWithNonce.
+func TestEncryptManyWorkerCountIndependent(t *testing.T) {
+	k := djTestKey(t, 2)
+	msgs := make([]*big.Int, 9)
+	r := mrand.New(mrand.NewSource(42))
+	for i := range msgs {
+		msgs[i] = new(big.Int).Rand(r, k.Ns)
+	}
+	var runs [][]*Ciphertext
+	for _, workers := range []int{1, 2, 8} {
+		cts, err := k.EncryptMany(fixedStream(7), msgs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cts) != len(msgs) {
+			t.Fatalf("workers=%d: %d ciphertexts for %d messages", workers, len(cts), len(msgs))
+		}
+		runs = append(runs, cts)
+	}
+	for w := 1; w < len(runs); w++ {
+		for i := range msgs {
+			if !bytes.Equal(runs[0][i].Bytes(), runs[w][i].Bytes()) {
+				t.Fatalf("message %d: run 0 and run %d differ", i, w)
+			}
+		}
+	}
+	for i, ct := range runs[0] {
+		m, err := k.Decrypt(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Cmp(msgs[i]) != 0 {
+			t.Fatalf("message %d: round trip %v != %v", i, m, msgs[i])
+		}
+	}
+}
+
+func TestPublicKeyEncryptManyRoundTrip(t *testing.T) {
+	sk := FixedTestKey(1)
+	msgs := []*big.Int{big.NewInt(0), big.NewInt(7), new(big.Int).Sub(sk.N, big.NewInt(1))}
+	cts, err := sk.PublicKey.EncryptMany(rand.Reader, msgs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ct := range cts {
+		m, err := sk.Decrypt(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Cmp(msgs[i]) != 0 {
+			t.Fatalf("message %d: %v != %v", i, m, msgs[i])
+		}
+	}
+}
+
+// fixedStream is a deterministic "random" source so two EncryptMany
+// runs see the same nonce stream.
+func fixedStream(seed int64) *deterministicReader {
+	return &deterministicReader{r: mrand.New(mrand.NewSource(seed))}
+}
+
+type deterministicReader struct{ r *mrand.Rand }
+
+func (d *deterministicReader) Read(p []byte) (int, error) { return d.r.Read(p) }
+
+// TestDJStateConcurrentInit hammers the lazy CRT-state build from many
+// goroutines; under -race it witnesses the double-checked init.
+func TestDJStateConcurrentInit(t *testing.T) {
+	k, err := NewDJKey(FixedTestKey(2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := big.NewInt(424242)
+	c, err := k.Encrypt(rand.Reader, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := k.DecryptCRT(c)
+			if err != nil || got.Cmp(m) != 0 {
+				t.Errorf("concurrent decrypt: %v, %v", got, err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestFixedTestKey2048(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2048-bit safe-prime verification is slow")
+	}
+	k := FixedTestKey2048()
+	if got := k.N.BitLen(); got != 2048 {
+		t.Fatalf("modulus is %d bits, want 2048", got)
+	}
+	if k.M == nil {
+		t.Fatal("2048-bit fixed key is not a safe-prime key")
+	}
+	c, err := k.Encrypt(rand.Reader, big.NewInt(987654321))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := k.Decrypt(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Int64() != 987654321 {
+		t.Fatalf("round trip: %v", m)
+	}
+}
+
+// FuzzPaillierEngineVsNaive pins the paillier engine paths — CRT
+// signed exponentiation, CRT decryption, and closed-form encryption —
+// bit-for-bit against the retained naive references over fuzzer-chosen
+// values and degrees.
+func FuzzPaillierEngineVsNaive(f *testing.F) {
+	f.Add([]byte{7}, []byte{3}, []byte{9}, uint8(1), false)
+	f.Add([]byte{0xff, 0x01}, []byte{0x80, 0x55}, []byte{2}, uint8(2), true)
+	f.Fuzz(func(t *testing.T, baseB, expB, mB []byte, degree uint8, neg bool) {
+		s := int(degree%3) + 1
+		k := djTestKey(t, s)
+
+		base := new(big.Int).SetBytes(baseB)
+		base.Mod(base, k.Ns1)
+		exp := new(big.Int).SetBytes(expB)
+		if exp.BitLen() > 8192 {
+			t.Skip()
+		}
+		if neg {
+			exp.Neg(exp)
+		}
+		want, errN := modexp.ExpSigned(base, exp, k.Ns1)
+		got, errE := k.ExpSignedCRT(base, exp)
+		if (errN == nil) != (errE == nil) {
+			t.Fatalf("err mismatch: naive=%v engine=%v", errN, errE)
+		}
+		if errN == nil && got.Cmp(want) != 0 {
+			t.Fatalf("ExpSignedCRT=%v naive=%v", got, want)
+		}
+
+		m := new(big.Int).SetBytes(mB)
+		m.Mod(m, k.Ns)
+		nonce := new(big.Int).SetBytes(baseB)
+		nonce.Mod(nonce, k.Base.N)
+		if nonce.Sign() == 0 || new(big.Int).GCD(nil, nil, nonce, k.Base.N).Cmp(big.NewInt(1)) != 0 {
+			nonce = big.NewInt(3)
+		}
+		ctN, errN2 := k.EncryptWithNonceNaive(m, nonce)
+		ctE, errE2 := k.EncryptWithNonce(m, nonce)
+		if (errN2 == nil) != (errE2 == nil) {
+			t.Fatalf("encrypt err mismatch: naive=%v engine=%v", errN2, errE2)
+		}
+		if errN2 == nil {
+			if ctE.C.Cmp(ctN.C) != 0 {
+				t.Fatal("closed-form encryption differs from naive")
+			}
+			dN, errN3 := k.DecryptNaive(ctN)
+			dE, errE3 := k.DecryptCRT(ctN)
+			if (errN3 == nil) != (errE3 == nil) {
+				t.Fatalf("decrypt err mismatch: naive=%v engine=%v", errN3, errE3)
+			}
+			if errN3 == nil {
+				if dN.Cmp(dE) != 0 {
+					t.Fatalf("DecryptCRT=%v naive=%v", dE, dN)
+				}
+				if dN.Cmp(m) != 0 {
+					t.Fatalf("round trip: got %v want %v", dN, m)
+				}
+			}
+		}
+	})
+}

@@ -207,8 +207,17 @@ func (pk *PublicKey) EncryptWithNonce(m, r *big.Int) (*Ciphertext, error) {
 }
 
 // Decrypt recovers the plaintext of c: m = L(c^λ mod N²)·μ mod N, where
-// L(x) = (x-1)/N.
+// L(x) = (x-1)/N. It runs on the CRT engine path (crt.go), which is
+// bit-identical for every unit ciphertext; DecryptNaive keeps the
+// single-exponentiation reference.
 func (sk *PrivateKey) Decrypt(c *Ciphertext) (*big.Int, error) {
+	return sk.DecryptCRT(c)
+}
+
+// DecryptNaive is the retained naive reference for Decrypt: one
+// exponentiation by λ modulo N². The differential tests pin DecryptCRT
+// to it bit-for-bit on unit ciphertexts.
+func (sk *PrivateKey) DecryptNaive(c *Ciphertext) (*big.Int, error) {
 	if err := sk.checkCiphertext(c); err != nil {
 		return nil, err
 	}

@@ -320,7 +320,9 @@ func TestDecryptCRTMatchesDecrypt(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		slow, err := sk.Decrypt(c)
+		// Decrypt now delegates to DecryptCRT, so the reference here is
+		// the retained naive single-exponentiation path.
+		slow, err := sk.DecryptNaive(c)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -28,6 +28,11 @@ var fixedSafePrimes384 = []string{
 	"cc6ad26d65233c08601e7d6bef91a1511d76d16ea4968b00e67504d8bbac8ecac28fc1c907926ef8ac6851026006da93",
 }
 
+var fixedSafePrimes1024 = []string{
+	"e5ad3c6f9c04d7c5b1cac6094d6d6acd768cfd24c36569b22d59480f5a995175dd64c9f97662fa0e5a82051953f9616457be79455d005ead91759bc62ef3913caa49351544b79622d53cdbf8ed858262bd33623b2a6572f23090c36669c38aec08b546aa39470ad0f979a2c8487310631ed8011ce6366442e78efb00900c3433",
+	"f90ed59e24b01f3093f348d7c36fabb044c6916439dc5957f15788d4f59efd440ec2de346619c015164a411dcf103fb532fdddec1671b5bc0a745f3e620b7b70cb2469b7b7f20cbdc579ed6774f97c7dc1b9be4fd2481a4fd98617ca62f0036de73530a7adf09001c9220bc41a392b3366ae4127600547c731a19ce0d3a653cb",
+}
+
 var (
 	fixedKeyMu    sync.Mutex
 	fixedKeyCache = map[int]*PrivateKey{}
@@ -74,6 +79,26 @@ func FixedTestKey768(i int) *PrivateKey {
 	k, err := NewKeyFromSafePrimes(p, q)
 	if err != nil {
 		panic(fmt.Sprintf("paillier: fixed 768-bit test key %d: %v", i, err))
+	}
+	fixedKeyCache[idx] = k
+	return k
+}
+
+// FixedTestKey2048 returns a deterministic 2048-bit safe-prime key, the
+// production-representative modulus size the hot-path benchmarks
+// measure at. FOR TESTS AND BENCHMARKS ONLY.
+func FixedTestKey2048() *PrivateKey {
+	fixedKeyMu.Lock()
+	defer fixedKeyMu.Unlock()
+	const idx = 200
+	if k, ok := fixedKeyCache[idx]; ok {
+		return k
+	}
+	p := mustHex(fixedSafePrimes1024[0])
+	q := mustHex(fixedSafePrimes1024[1])
+	k, err := NewKeyFromSafePrimes(p, q)
+	if err != nil {
+		panic(fmt.Sprintf("paillier: fixed 2048-bit test key: %v", err))
 	}
 	fixedKeyCache[idx] = k
 	return k

@@ -1,0 +1,194 @@
+package tte
+
+import (
+	"math/big"
+	"sync"
+	"testing"
+
+	"yosompc/internal/paillier"
+)
+
+// Differential tests pinning the modexp-engine hot paths (PartialDecrypt,
+// Combine, Δ^epoch ladders) bit-for-bit against the retained naive
+// references. "Equal" below always means big.Int.Cmp == 0 on canonical
+// residues, which for engine outputs is the same as byte equality.
+
+func engineScheme(t *testing.T) (*Threshold, PublicKey, []KeyShare) {
+	t.Helper()
+	s, err := NewThreshold(paillier.FixedTestKey(0))
+	if err != nil {
+		t.Fatalf("NewThreshold: %v", err)
+	}
+	pk, shares, err := s.KeyGen(5, 2)
+	if err != nil {
+		t.Fatalf("KeyGen: %v", err)
+	}
+	return s, pk, shares
+}
+
+func TestPartialDecryptEngineMatchesNaive(t *testing.T) {
+	s, pk, shares := engineScheme(t)
+	ct, err := s.Encrypt(pk, big.NewInt(424242), big.NewInt(1<<20))
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	for epoch := 0; epoch < 2; epoch++ {
+		for _, sh := range shares {
+			eng, err := s.PartialDecrypt(pk, sh, ct)
+			if err != nil {
+				t.Fatalf("epoch %d PartialDecrypt(%d): %v", epoch, sh.Index(), err)
+			}
+			ref, err := s.PartialDecryptNaive(pk, sh, ct)
+			if err != nil {
+				t.Fatalf("epoch %d PartialDecryptNaive(%d): %v", epoch, sh.Index(), err)
+			}
+			ev, rv := eng.(*thresholdPartial).v, ref.(*thresholdPartial).v
+			if ev.Cmp(rv) != 0 {
+				t.Fatalf("epoch %d share %d: engine partial %v != naive %v", epoch, sh.Index(), ev, rv)
+			}
+		}
+		// Epoch 1: reshared shares go negative over the integers, which
+		// exercises the CRT path's negative-exponent reduction.
+		shares = reshareAll(t, s, pk, shares, []int{1, 2, 3})
+	}
+}
+
+func TestCombineEngineMatchesNaive(t *testing.T) {
+	s, pk, shares := engineScheme(t)
+	want := big.NewInt(987654321)
+	ct, err := s.Encrypt(pk, want, big.NewInt(1<<31))
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	for epoch := 0; epoch < 2; epoch++ {
+		var parts []PartialDec
+		for _, sh := range shares[:3] {
+			p, err := s.PartialDecrypt(pk, sh, ct)
+			if err != nil {
+				t.Fatalf("PartialDecrypt: %v", err)
+			}
+			parts = append(parts, p)
+		}
+		eng, err := s.Combine(pk, ct, parts)
+		if err != nil {
+			t.Fatalf("epoch %d Combine: %v", epoch, err)
+		}
+		ref, err := s.CombineNaive(pk, ct, parts)
+		if err != nil {
+			t.Fatalf("epoch %d CombineNaive: %v", epoch, err)
+		}
+		if eng.Cmp(ref) != 0 {
+			t.Fatalf("epoch %d: engine Combine %v != naive %v", epoch, eng, ref)
+		}
+		if eng.Cmp(want) != 0 {
+			t.Fatalf("epoch %d: Combine %v, want %v", epoch, eng, want)
+		}
+		shares = reshareAll(t, s, pk, shares, []int{1, 3, 5})
+	}
+}
+
+func TestDeltaPowerEngineMatchesNaive(t *testing.T) {
+	s, pk, _ := engineScheme(t)
+	tpk := pk.(*thresholdPK)
+	// Non-monotone epochs: the ladder must serve arbitrary revisit order.
+	for _, epoch := range []int{0, 3, 1, 7, 2, 7} {
+		eng, err := s.deltaPower(tpk, epoch, true)
+		if err != nil {
+			t.Fatalf("deltaPower(engine, %d): %v", epoch, err)
+		}
+		ref, err := s.deltaPower(tpk, epoch, false)
+		if err != nil {
+			t.Fatalf("deltaPower(naive, %d): %v", epoch, err)
+		}
+		if eng.Cmp(ref) != 0 {
+			t.Fatalf("epoch %d: ladder Δ^e %v != naive %v", epoch, eng, ref)
+		}
+	}
+}
+
+func TestThresholdEncryptManyRoundTrip(t *testing.T) {
+	s, pk, shares := engineScheme(t)
+	bound := big.NewInt(1 << 16)
+	ms := []*big.Int{big.NewInt(0), big.NewInt(1), big.NewInt(65535), big.NewInt(31337)}
+	cts, err := s.EncryptMany(pk, ms, bound, 3)
+	if err != nil {
+		t.Fatalf("EncryptMany: %v", err)
+	}
+	if len(cts) != len(ms) {
+		t.Fatalf("EncryptMany returned %d ciphertexts, want %d", len(cts), len(ms))
+	}
+	for i, ct := range cts {
+		got := decryptVia(t, s, pk, shares, ct, []int{1, 2, 4})
+		if got.Cmp(ms[i]) != 0 {
+			t.Fatalf("ciphertext %d decrypts to %v, want %v", i, got, ms[i])
+		}
+	}
+}
+
+func TestThresholdEncryptManyValidation(t *testing.T) {
+	s, pk, _ := engineScheme(t)
+	bound := big.NewInt(100)
+	if _, err := s.EncryptMany(pk, []*big.Int{big.NewInt(5)}, nil, 1); err == nil {
+		t.Fatal("EncryptMany accepted a nil bound")
+	}
+	if _, err := s.EncryptMany(pk, []*big.Int{big.NewInt(101)}, bound, 1); err == nil {
+		t.Fatal("EncryptMany accepted m > bound")
+	}
+	if _, err := s.EncryptMany(pk, []*big.Int{big.NewInt(-1)}, bound, 1); err == nil {
+		t.Fatal("EncryptMany accepted a negative plaintext")
+	}
+	huge := new(big.Int).Lsh(big.NewInt(1), 4096)
+	if _, err := s.EncryptMany(pk, []*big.Int{big.NewInt(5)}, huge, 1); err == nil {
+		t.Fatal("EncryptMany accepted a bound beyond key capacity")
+	}
+}
+
+// TestThresholdEngineHammer drives the cached hot paths from many
+// goroutines at once; run with -race it witnesses that the engine's
+// table/ladder caches stay safe under the scheme-level call pattern.
+func TestThresholdEngineHammer(t *testing.T) {
+	s, pk, shares := engineScheme(t)
+	ct, err := s.Encrypt(pk, big.NewInt(7777), big.NewInt(1<<20))
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < 5; it++ {
+				var parts []PartialDec
+				for _, sh := range shares[:3] {
+					p, err := s.PartialDecrypt(pk, sh, ct)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					parts = append(parts, p)
+				}
+				v, err := s.Combine(pk, ct, parts)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if v.Int64() != 7777 {
+					errCh <- errWrongOpen
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("hammer: %v", err)
+	}
+}
+
+var errWrongOpen = &wrongOpenError{}
+
+type wrongOpenError struct{}
+
+func (*wrongOpenError) Error() string { return "combine opened to the wrong value" }

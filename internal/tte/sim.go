@@ -113,6 +113,22 @@ func (s *Sim) Encrypt(pk PublicKey, m, bound *big.Int) (Ciphertext, error) {
 	return &simCT{value: new(big.Int).Set(m), bound: new(big.Int).Set(bound), size: spk.ctBytes}, nil
 }
 
+// EncryptMany implements BatchEncrypter. The sim backend has no
+// exponentiations to amortize, so this is exactly n Encrypt calls; it
+// exists so sweeps exercise the same batched driver paths as the real
+// backend.
+func (s *Sim) EncryptMany(pk PublicKey, ms []*big.Int, bound *big.Int, _ int) ([]Ciphertext, error) {
+	out := make([]Ciphertext, len(ms))
+	for i, m := range ms {
+		ct, err := s.Encrypt(pk, m, bound)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ct
+	}
+	return out, nil
+}
+
 // Eval implements TEval.
 func (s *Sim) Eval(pk PublicKey, cts []Ciphertext, coeffs []*big.Int) (Ciphertext, error) {
 	spk, err := s.pub(pk)

@@ -8,6 +8,7 @@ import (
 	"math/big"
 	"sort"
 
+	"yosompc/internal/modexp"
 	"yosompc/internal/paillier"
 )
 
@@ -179,6 +180,38 @@ func (s *Threshold) Encrypt(pk PublicKey, m, bound *big.Int) (Ciphertext, error)
 	return &thresholdCT{ct: ct, bound: new(big.Int).Set(bound), size: tpk.ctBytes}, nil
 }
 
+// EncryptMany implements BatchEncrypter: the per-message validation of
+// Encrypt, then the Paillier layer's batched encryption over the shared
+// worker pool. Randomness is sampled serially inside the Paillier
+// layer, so the ciphertexts are independent of the worker count.
+func (s *Threshold) EncryptMany(pk PublicKey, ms []*big.Int, bound *big.Int, workers int) ([]Ciphertext, error) {
+	tpk, err := s.pub(pk)
+	if err != nil {
+		return nil, err
+	}
+	if bound == nil {
+		return nil, fmt.Errorf("tte: plaintext outside [0, bound]")
+	}
+	if bound.Cmp(tpk.maxPlain) > 0 {
+		return nil, fmt.Errorf("%w: bound %v", ErrPlaintextTooBig, bound)
+	}
+	for _, m := range ms {
+		if m.Sign() < 0 || m.Cmp(bound) > 0 {
+			// The plaintext stays out of the error message by design.
+			return nil, fmt.Errorf("tte: plaintext outside [0, bound]")
+		}
+	}
+	cts, err := s.dj.EncryptMany(s.random, ms, workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Ciphertext, len(cts))
+	for i, ct := range cts {
+		out[i] = &thresholdCT{ct: ct, bound: new(big.Int).Set(bound), size: tpk.ctBytes}
+	}
+	return out, nil
+}
+
 // Eval implements TEval with non-negative integer coefficients.
 func (s *Threshold) Eval(pk PublicKey, cts []Ciphertext, coeffs []*big.Int) (Ciphertext, error) {
 	tpk, err := s.pub(pk)
@@ -212,8 +245,26 @@ func (s *Threshold) Eval(pk PublicKey, cts []Ciphertext, coeffs []*big.Int) (Cip
 	return &thresholdCT{ct: acc, bound: bound, size: tpk.ctBytes}, nil
 }
 
-// PartialDecrypt implements TPDec: v = c^(2Δ·d_i) mod N².
+// PartialDecrypt implements TPDec: v = c^(2Δ·d_i) mod N². It runs on
+// the CRT engine path, which reduces the 2Δ·d_i exponent modulo the
+// per-prime group orders before exponentiating — the share carries
+// log₂(2Δ·N^s·m) ≈ n·log₂n + 2·s·log₂N bits that reduction shrinks to
+// the group order. This backend holds the dealer key (see the Threshold
+// doc comment), so the factorization is available wherever the scheme
+// runs; PartialDecryptNaive keeps the full-exponent reference.
 func (s *Threshold) PartialDecrypt(pk PublicKey, sh KeyShare, ct Ciphertext) (PartialDec, error) {
+	return s.partialDecrypt(pk, sh, ct, true)
+}
+
+// PartialDecryptNaive is the retained naive reference for
+// PartialDecrypt: one full-length exponentiation modulo N^{s+1}. The
+// differential tests and the paillier hot-path benchmark pin the engine
+// path to it bit-for-bit.
+func (s *Threshold) PartialDecryptNaive(pk PublicKey, sh KeyShare, ct Ciphertext) (PartialDec, error) {
+	return s.partialDecrypt(pk, sh, ct, false)
+}
+
+func (s *Threshold) partialDecrypt(pk PublicKey, sh KeyShare, ct Ciphertext, engine bool) (PartialDec, error) {
 	tpk, err := s.pub(pk)
 	if err != nil {
 		return nil, err
@@ -226,33 +277,38 @@ func (s *Threshold) PartialDecrypt(pk PublicKey, sh KeyShare, ct Ciphertext) (Pa
 	if !ok {
 		return nil, fmt.Errorf("%w: ciphertext", ErrWrongKey)
 	}
-	exp := new(big.Int).Lsh(tsh.d, 1)            // 2·d_i
-	exp.Mul(exp, tpk.delta)                      // 2Δ·d_i
-	v, err := expSigned(tct.ct.C, exp, s.dj.Ns1) //yosolint:vartime partial decryption must exponentiate by the key share and stdlib math/big has no constant-time modexp; residual risk documented in docs/STATIC_ANALYSIS.md
+	exp := new(big.Int).Lsh(tsh.d, 1) // 2·d_i
+	exp.Mul(exp, tpk.delta)           // 2Δ·d_i
+	var v *big.Int
+	if engine {
+		v, err = s.dj.ExpSignedCRT(tct.ct.C, exp)
+	} else {
+		v, err = modexp.ExpSigned(tct.ct.C, exp, s.dj.Ns1)
+	}
 	if err != nil {
 		return nil, err
 	}
 	return &thresholdPartial{index: tsh.index, epoch: tsh.epoch, v: v, size: tpk.ctBytes}, nil
 }
 
-// expSigned computes base^exp mod mod, supporting negative exponents via
-// modular inversion.
-func expSigned(base, exp, mod *big.Int) (*big.Int, error) {
-	b := base
-	e := exp
-	if exp.Sign() < 0 {
-		b = new(big.Int).ModInverse(base, mod)
-		if b == nil {
-			return nil, errors.New("tte: base not invertible")
-		}
-		e = new(big.Int).Neg(exp)
-	}
-	return new(big.Int).Exp(b, e, mod), nil
+// Combine implements TDec: c' = Π v_i^(2Λ_i) where Λ_i = Δ·λ_i(0), then the
+// plaintext is L(c')·(4Δ²·Δ^epoch)⁻¹ mod N. The t+1-term product runs
+// as one Straus multi-exponentiation (shared squaring chain across all
+// partials) and Δ^epoch comes from the cached power ladder;
+// CombineNaive keeps the term-by-term reference.
+func (s *Threshold) Combine(pk PublicKey, ct Ciphertext, parts []PartialDec) (*big.Int, error) {
+	return s.combine(pk, parts, true) //yosolint:vartime partial decryptions are public board messages; the combiner is the designated plaintext recipient
 }
 
-// Combine implements TDec: c' = Π v_i^(2Λ_i) where Λ_i = Δ·λ_i(0), then the
-// plaintext is L(c')·(4Δ²·Δ^epoch)⁻¹ mod N.
-func (s *Threshold) Combine(pk PublicKey, ct Ciphertext, parts []PartialDec) (*big.Int, error) {
+// CombineNaive is the retained naive reference for Combine: one
+// exponentiation per partial and a fresh Δ^epoch exponentiation. The
+// differential tests and the paillier hot-path benchmark pin the
+// engine path to it bit-for-bit.
+func (s *Threshold) CombineNaive(pk PublicKey, ct Ciphertext, parts []PartialDec) (*big.Int, error) {
+	return s.combine(pk, parts, false) //yosolint:vartime partial decryptions are public board messages; the combiner is the designated plaintext recipient
+}
+
+func (s *Threshold) combine(pk PublicKey, parts []PartialDec, engine bool) (*big.Int, error) {
 	tpk, err := s.pub(pk)
 	if err != nil {
 		return nil, err
@@ -269,16 +325,30 @@ func (s *Threshold) Combine(pk PublicKey, ct Ciphertext, parts []PartialDec) (*b
 	if err != nil {
 		return nil, err
 	}
-	acc := big.NewInt(1)
-	for i, p := range chosen {
-		tp := p.(*thresholdPartial)
-		exp := new(big.Int).Lsh(lambdas[i], 1)      // 2Λ_i
-		term, err := expSigned(tp.v, exp, s.dj.Ns1) //yosolint:vartime combine-side Lagrange weighting: the combiner is the designated plaintext recipient
+	var acc *big.Int
+	if engine {
+		bases := make([]*big.Int, len(chosen))
+		exps := make([]*big.Int, len(chosen))
+		for i, p := range chosen {
+			bases[i] = p.(*thresholdPartial).v
+			exps[i] = new(big.Int).Lsh(lambdas[i], 1) // 2Λ_i
+		}
+		acc, err = modexp.MultiExp(s.dj.Ns1, bases, exps)
 		if err != nil {
 			return nil, err
 		}
-		acc.Mul(acc, term)
-		acc.Mod(acc, s.dj.Ns1)
+	} else {
+		acc = big.NewInt(1)
+		for i, p := range chosen {
+			tp := p.(*thresholdPartial)
+			exp := new(big.Int).Lsh(lambdas[i], 1) // 2Λ_i
+			term, err := modexp.ExpSigned(tp.v, exp, s.dj.Ns1)
+			if err != nil {
+				return nil, err
+			}
+			acc.Mul(acc, term)
+			acc.Mod(acc, s.dj.Ns1)
+		}
 	}
 	// acc = (1+N)^(4Δ²·Δ^epoch·M) mod N^{s+1} for well-formed inputs;
 	// extract the exponent with the Damgård–Jurik recursion.
@@ -290,7 +360,11 @@ func (s *Threshold) Combine(pk PublicKey, ct Ciphertext, parts []PartialDec) (*b
 	div := new(big.Int).Mul(tpk.delta, tpk.delta)
 	div.Lsh(div, 2)
 	if epoch > 0 {
-		div.Mul(div, new(big.Int).Exp(tpk.delta, big.NewInt(int64(epoch)), s.dj.Ns))
+		dp, err := s.deltaPower(tpk, epoch, engine)
+		if err != nil {
+			return nil, err
+		}
+		div.Mul(div, dp)
 	}
 	divInv := new(big.Int).ModInverse(div, s.dj.Ns)
 	if divInv == nil {
@@ -299,6 +373,18 @@ func (s *Threshold) Combine(pk PublicKey, ct Ciphertext, parts []PartialDec) (*b
 	m := lVal.Mul(lVal, divInv)
 	m.Mod(m, s.dj.Ns)
 	return m, nil
+}
+
+// deltaPower returns Δ^epoch mod N^s — from the process-global power
+// ladder on the engine path (one cached multiplication per new epoch
+// instead of a full exponentiation at every Combine), by direct Exp on
+// the naive path. Ladder entries are shared; callers must not mutate
+// the returned value.
+func (s *Threshold) deltaPower(tpk *thresholdPK, epoch int, engine bool) (*big.Int, error) {
+	if !engine {
+		return new(big.Int).Exp(tpk.delta, big.NewInt(int64(epoch)), s.dj.Ns), nil
+	}
+	return modexp.Ladder(tpk.delta, s.dj.Ns).Pow(epoch)
 }
 
 // selectPartials validates and picks t+1 partials with distinct indices and
@@ -467,7 +553,11 @@ func (s *Threshold) SimPartialDecrypt(pk PublicKey, ct Ciphertext, target *big.I
 	// D0 ≡ 0 (mod m), D0 ≡ Δ^epoch·target·M⁻¹ (mod N^s).
 	resN := new(big.Int).Mul(target, mInv)
 	if epoch > 0 {
-		resN.Mul(resN, new(big.Int).Exp(tpk.delta, big.NewInt(int64(epoch)), s.dj.Ns))
+		dp, err := s.deltaPower(tpk, epoch, true)
+		if err != nil {
+			return nil, err
+		}
+		resN.Mul(resN, dp)
 	}
 	resN.Mod(resN, s.dj.Ns)
 	mInvModNs := new(big.Int).ModInverse(s.dealer.M, s.dj.Ns) //yosolint:vartime simulator-only equivocation retargeting; never executed by protocol roles
@@ -517,7 +607,7 @@ func (s *Threshold) SimPartialDecrypt(pk PublicKey, ct Ciphertext, target *big.I
 			}
 			exp = w.Lsh(w, 1)
 		}
-		v, err := expSigned(tct.ct.C, exp, s.dj.Ns1) //yosolint:vartime simulator-only path fabricating consistent partials; never executed by protocol roles
+		v, err := s.dj.ExpSignedCRT(tct.ct.C, exp)
 		if err != nil {
 			return nil, err
 		}

@@ -121,6 +121,36 @@ type Scheme interface {
 	RecoverShare(pk PublicKey, index int, subs []SubShare) (KeyShare, error)
 }
 
+// BatchEncrypter is the optional batched-encryption interface: backends
+// that can amortize per-ciphertext work (nonce exponentiations over the
+// worker pool, shared key state) implement it. The contract matches n
+// independent Encrypt calls exactly — same validation, same ciphertext
+// distribution — and the output must be independent of the worker
+// count. All messages share one bound.
+type BatchEncrypter interface {
+	// EncryptMany encrypts every ms[i] with the shared bound using at
+	// most workers goroutines (values < 1 mean the default pool size).
+	EncryptMany(pk PublicKey, ms []*big.Int, bound *big.Int, workers int) ([]Ciphertext, error)
+}
+
+// EncryptAll encrypts a batch through the scheme's BatchEncrypter when
+// it has one, falling back to sequential Encrypt calls otherwise.
+// Drivers call this instead of type-asserting at every site.
+func EncryptAll(s Scheme, pk PublicKey, ms []*big.Int, bound *big.Int, workers int) ([]Ciphertext, error) {
+	if be, ok := s.(BatchEncrypter); ok {
+		return be.EncryptMany(pk, ms, bound, workers)
+	}
+	out := make([]Ciphertext, len(ms))
+	for i, m := range ms {
+		ct, err := s.Encrypt(pk, m, bound)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ct
+	}
+	return out, nil
+}
+
 // Simulator is the partial-decryption simulatability hook (SimTPDec).
 // Only backends holding dealer secrets implement it; it exists to make the
 // paper's Definition 2 testable, not for protocol execution.

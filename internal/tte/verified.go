@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/big"
 
+	"yosompc/internal/modexp"
 	"yosompc/internal/nizk"
 )
 
@@ -74,15 +75,17 @@ func (s *Threshold) KeyGenVerified(n, t int) (PublicKey, []KeyShare, *Verificati
 	nm := new(big.Int).Mul(s.dj.Ns, new(big.Int).Rsh(s.dealer.N, 2))
 	vk.WitnessBound = new(big.Int).Mul(nm, tpk.delta)
 	vk.WitnessBound.Lsh(vk.WitnessBound, 1)
+	// All n keys share the base v: one fixed-base table amortized across
+	// the whole committee instead of n independent exponentiations.
+	exps := make([]*big.Int, n)
 	for i, sh := range shares {
-		d := sh.(*thresholdShare).d
-		exp := new(big.Int).Mul(tpk.delta, d)
-		key, err := expSigned(v, exp, s.dj.Ns1) //yosolint:vartime dealer-side one-time keygen computing the published verification keys; stdlib math/big only
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		vk.Keys[i] = key
+		exps[i] = new(big.Int).Mul(tpk.delta, sh.(*thresholdShare).d)
 	}
+	keys, err := modexp.ExpManySigned(v, s.dj.Ns1, exps)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	vk.Keys = keys
 	return pk, shares, vk, nil
 }
 
@@ -164,17 +167,17 @@ func (s *Threshold) ReshareVerified(pk PublicKey, sh KeyShare, vk *VerificationK
 	if err != nil {
 		return nil, err
 	}
-	out := &VerifiedSubShares{Subs: subs, Pieces: make([]*big.Int, len(subs)), From: sh.Index()}
+	// All n pieces share the base v: fixed-base fan-out, as in
+	// KeyGenVerified.
+	exps := make([]*big.Int, len(subs))
 	for j, sub := range subs {
-		g := sub.(*thresholdSub).v
-		exp := new(big.Int).Mul(tpk.delta, g)
-		piece, err := expSigned(vk.V, exp, s.dj.Ns1) //yosolint:vartime computes the published verification piece; stdlib math/big has no constant-time modexp, residual risk documented in docs/STATIC_ANALYSIS.md
-		if err != nil {
-			return nil, err
-		}
-		out.Pieces[j] = piece
+		exps[j] = new(big.Int).Mul(tpk.delta, sub.(*thresholdSub).v)
 	}
-	return out, nil
+	pieces, err := modexp.ExpManySigned(vk.V, s.dj.Ns1, exps)
+	if err != nil {
+		return nil, err
+	}
+	return &VerifiedSubShares{Subs: subs, Pieces: pieces, From: sh.Index()}, nil
 }
 
 // UpdateVerificationKeys derives the next epoch's verification keys from
@@ -207,18 +210,19 @@ func (s *Threshold) UpdateVerificationKeys(pk PublicKey, vk *VerificationKeys,
 	growth := new(big.Int).Mul(tpk.delta, big.NewInt(int64(tpk.n)))
 	growth.Lsh(growth, statSecurity+1)
 	next.WitnessBound = new(big.Int).Mul(vk.WitnessBound, growth)
+	// V'_j = Π Pieces_i[j]^(Λ_i): one Straus multi-exponentiation per
+	// target party, sharing the squaring chain across the t+1 pieces.
 	for j := 0; j < tpk.n; j++ {
-		acc := big.NewInt(1)
+		bases := make([]*big.Int, len(chosen))
 		for i, rs := range chosen {
 			if j >= len(rs.Pieces) {
 				return nil, fmt.Errorf("%w: resharing from %d missing piece %d", ErrMalformedMessage, rs.From, j)
 			}
-			term, err := expSigned(rs.Pieces[j], lambdas[i], s.dj.Ns1)
-			if err != nil {
-				return nil, err
-			}
-			acc.Mul(acc, term)
-			acc.Mod(acc, s.dj.Ns1)
+			bases[i] = rs.Pieces[j]
+		}
+		acc, err := modexp.MultiExp(s.dj.Ns1, bases, lambdas)
+		if err != nil {
+			return nil, err
 		}
 		next.Keys[j] = acc
 	}
